@@ -1,0 +1,118 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one paper table or
+figure.  Full-paper scale (80 models x 0.5 RPS for long horizons) is
+CPU-minutes in pure Python, so benches default to a reduced horizon and
+a trimmed parameter grid, printing exactly what they ran.  Environment
+overrides:
+
+* ``REPRO_BENCH_HORIZON`` — simulated seconds of trace (default 150)
+* ``REPRO_BENCH_SCALE``   — multiplies the parameter grids (default 1.0)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+from repro.analysis import ServingResult
+from repro.baselines import MuxServe, ServerlessLLM, ServerlessLLMPlus
+from repro.core import AegaeonConfig, AegaeonServer, DEFAULT_SLO, SloSpec
+from repro.engine import EngineConfig
+from repro.hardware import Cluster
+from repro.models import market_mix
+from repro.sim import Environment
+from repro.workload import Dataset, sharegpt, synthesize_trace
+
+__all__ = [
+    "bench_horizon",
+    "bench_scale",
+    "make_trace",
+    "run_system",
+    "SYSTEMS",
+    "default_seed",
+]
+
+DEFAULT_HORIZON = 150.0
+SEED = 2025
+
+
+def bench_horizon() -> float:
+    """Simulated trace horizon for serving benches."""
+    return float(os.environ.get("REPRO_BENCH_HORIZON", DEFAULT_HORIZON))
+
+
+def bench_scale() -> float:
+    """Grid scale factor (1.0 = default trimmed grids)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def default_seed() -> int:
+    return SEED
+
+
+def make_trace(
+    model_count: int,
+    rps: float,
+    dataset: Dataset | None = None,
+    horizon: float | None = None,
+    seed: int = SEED,
+):
+    """The paper's §7.1 synthesis: ``model_count`` models at ``rps`` each."""
+    models = market_mix(model_count)
+    dataset = dataset if dataset is not None else sharegpt()
+    horizon = horizon if horizon is not None else bench_horizon()
+    return synthesize_trace(models, [rps] * model_count, dataset, horizon, seed=seed)
+
+
+def aegaeon_factory(slo: SloSpec = DEFAULT_SLO, engine: EngineConfig = EngineConfig()):
+    def build(env: Environment):
+        return AegaeonServer.paper_testbed(env, slo=slo, engine=engine)
+
+    return build
+
+
+def sllm_factory(slo: SloSpec = DEFAULT_SLO):
+    def build(env: Environment):
+        return ServerlessLLM(env, Cluster.testbed(env), slo=slo)
+
+    return build
+
+
+def sllm_plus_factory(slo: SloSpec = DEFAULT_SLO):
+    def build(env: Environment):
+        return ServerlessLLMPlus(env, Cluster.testbed(env), slo=slo)
+
+    return build
+
+
+def muxserve_factory(slo: SloSpec = DEFAULT_SLO):
+    def build(env: Environment):
+        return MuxServe(env, Cluster.testbed(env), slo=slo)
+
+    return build
+
+
+# The §7.2 comparison set on the 16-GPU testbed.
+SYSTEMS: dict[str, Callable[[SloSpec], Callable[[Environment], object]]] = {
+    "Aegaeon": aegaeon_factory,
+    "ServerlessLLM": sllm_factory,
+    "ServerlessLLM+": sllm_plus_factory,
+    "MuxServe": muxserve_factory,
+}
+
+
+def run_system(factory: Callable[[Environment], object], trace) -> ServingResult:
+    """Build a fresh environment + system and serve the trace."""
+    env = Environment()
+    system = factory(env)
+    return system.serve(trace)
+
+
+def trimmed(grid: Sequence, limit_when_small: int | None = None) -> list:
+    """Apply REPRO_BENCH_SCALE to a parameter grid."""
+    scale = bench_scale()
+    if scale >= 1.0:
+        return list(grid)
+    keep = max(1, round(len(grid) * scale))
+    return list(grid)[:keep]

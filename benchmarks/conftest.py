@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes ``_common`` importable from each bench module and keeps benchmark
+output readable (each bench prints its table/series explicitly).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,70 @@
+"""Figure 1: concurrent LLM serving workloads in production.
+
+(a) CDF of model invocations — 94.1% of models receive 1.35% of
+requests; (b) request-rate fluctuation of a hot model, with bursts
+exceeding the reserved rate.
+"""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+from repro.workload import (
+    BurstConfig,
+    PRODUCTION_SHAPE,
+    bursty_arrivals,
+    market_rates,
+    rate_series,
+    request_share_cdf,
+)
+
+
+def test_fig01a_invocation_cdf(benchmark):
+    def run():
+        rates = market_rates(PRODUCTION_SHAPE)
+        return request_share_cdf(rates)
+
+    model_fraction, request_fraction = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    checkpoints = [0.01, 0.059, 0.25, 0.50, 0.75, 1.0]
+    rows = []
+    for point in checkpoints:
+        index = min(
+            int(point * len(model_fraction)) - 1, len(model_fraction) - 1
+        )
+        rows.append((f"{point:.1%}", f"{request_fraction[max(index, 0)]:.2%}"))
+    print()
+    print(format_table(["top models", "request share"], rows, title="Figure 1(a): CDF of model invocations"))
+
+    # The published skew: the 94.1% tail gets 1.35% of requests, i.e.
+    # the top 5.9% get 98.65%.
+    head_index = int(0.059 * len(model_fraction)) - 1
+    head_share = request_fraction[head_index]
+    print(f"top 5.9% of models receive {head_share:.2%} of requests (paper: 98.65%)")
+    assert abs(head_share - 0.9865) < 0.01
+
+
+def test_fig01b_burst_rate(benchmark):
+    horizon = 700.0
+    base = 600.0
+
+    def run():
+        rng = np.random.default_rng(7)
+        arrivals = bursty_arrivals(
+            base, horizon, rng,
+            burst=BurstConfig(episode_rate=1 / 150.0, episode_duration=40.0, multiplier=1.5),
+        )
+        return rate_series(arrivals, horizon, window=10.0)
+
+    centers, rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_series(
+            [f"{t:.0f}" for t in centers[::7]],
+            rates[::7],
+            "time (s)",
+            "rate (req/s)",
+        )
+    )
+    print(f"reserved={base:.0f} req/s, peak={rates.max():.0f} req/s")
+    # Figure 1(b)'s point: bursts exceed the reserved rate.
+    assert rates.max() > base * 1.1

@@ -1,0 +1,52 @@
+"""Figure 4 + Theorem 3.1: active model count over time.
+
+M=100 models at lambda=0.037 req/s each with T=16.79 s of service time:
+the simulated active-model count fluctuates around the theorem's
+E[m] = M(1 - e^(-lambda*T)) ~ 46.5, bounding request-level auto-scaling
+to fewer than 3 models per GPU.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    expected_active_models,
+    format_series,
+    models_per_gpu_bound,
+    simulate_active_models,
+)
+
+M = 100
+LAMBDA = 0.037
+SERVICE_TIME = 16.79
+HORIZON = 2000.0
+
+
+def test_fig04_active_model_count(benchmark):
+    def run():
+        rng = np.random.default_rng(4)
+        return simulate_active_models(M, LAMBDA, SERVICE_TIME, HORIZON, rng)
+
+    times, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = expected_active_models(M, LAMBDA, SERVICE_TIME)
+
+    print()
+    stride = len(times) // 10
+    print(
+        format_series(
+            [f"{t:.0f}" for t in times[::stride]],
+            counts[::stride].astype(float),
+            "time (s)",
+            "active models",
+        )
+    )
+    steady = counts[50:]
+    print(
+        f"E[m] (Theorem 3.1) = {expected:.2f} (paper: 46.55); "
+        f"simulated mean = {steady.mean():.2f} +/- {steady.std():.2f}"
+    )
+    print(
+        f"request-level pooling bound: {models_per_gpu_bound(M, LAMBDA, SERVICE_TIME):.2f} "
+        f"models/GPU (paper: < 3)"
+    )
+    assert abs(steady.mean() - expected) / expected < 0.05
+    assert models_per_gpu_bound(M, LAMBDA, SERVICE_TIME) < 3.0

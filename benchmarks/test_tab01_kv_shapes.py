@@ -1,0 +1,47 @@
+"""Table 1: KV-cache shape and per-token size across models.
+
+The 20x spread in per-token KV size (128 KB to 2560 KB) is what forces
+the unified KV cache to be shape-aware (slab allocation, §5.2).
+"""
+
+from repro.analysis import format_table
+from repro.models import get_model, kv_shape
+
+PAPER_ROWS = {
+    "Qwen-7B": ((32, 2, 32, 128), 512),
+    "InternLM2.5-7B": ((32, 2, 8, 128), 128),
+    "Llama-13B": ((40, 2, 40, 128), 800),
+    "Qwen-72B": ((80, 2, 64, 128), 2560),
+}
+
+
+def test_tab01_kv_cache_shapes(benchmark):
+    def run():
+        return {
+            name: kv_shape(get_model(name)) for name in PAPER_ROWS
+        }
+
+    shapes = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, shape in shapes.items():
+        rows.append(
+            (
+                name,
+                str(shape.dims),
+                f"{shape.bytes_per_token // 1024} KB",
+                f"{PAPER_ROWS[name][1]} KB",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["Model", "KV Cache Shape", "KV Cache Size", "paper"],
+            rows,
+            title="Table 1: per-token KV cache (16-bit)",
+        )
+    )
+    for name, shape in shapes.items():
+        expected_dims, expected_kb = PAPER_ROWS[name]
+        assert shape.dims == expected_dims
+        assert shape.bytes_per_token == expected_kb * 1024

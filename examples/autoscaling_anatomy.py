@@ -1,0 +1,91 @@
+"""Anatomy of a preemptive auto-scale: watch the §5 optimizations work.
+
+Drives one engine directly through scale-down/scale-up cycles with each
+optimization level (T0 -> T3+prefetch), printing the per-stage latency
+breakdown Figure 7/8 describe, then inspects the live memory state of
+the bump-allocated weight buffer and the slab-allocated unified KV
+cache.
+
+Run:  python examples/autoscaling_anatomy.py
+"""
+
+from repro.analysis import format_table
+from repro.engine import AegaeonEngine, EngineConfig
+from repro.hardware import H800, Node
+from repro.memory import HostModelCache, SlabAllocator
+from repro.models import get_model, kv_shape
+from repro.sim import Environment
+from repro.transfer import RequestKv
+
+GiB = 1024**3
+MiB = 1024**2
+
+
+def build_engine(env, config):
+    node = Node(env, H800, gpu_count=1)
+    cache = HostModelCache(640 * GiB)
+    for name in ("Qwen-7B", "Yi-6B"):
+        cache.insert(name, get_model(name).weight_bytes)
+    cpu_kv = SlabAllocator(320 * GiB, 256 * MiB)
+    return AegaeonEngine(env, node, node.gpus, cache, cpu_kv, config=config, pre_initialized=True)
+
+
+def one_switch(config, prefetch=False):
+    env = Environment()
+    engine = build_engine(env, config)
+    qwen, yi = get_model("Qwen-7B"), get_model("Yi-6B")
+
+    def scenario():
+        yield from engine.scale_to(qwen)
+        # A decode batch with KV on the GPU.
+        kvs = []
+        for request_id in range(4):
+            kv = RequestKv(request_id=request_id, shape=kv_shape(qwen), tokens=400)
+            engine.kv.alloc_gpu(kv)
+            kvs.append(kv)
+        if prefetch:
+            engine.prefetch(yi)
+            yield from engine.decode_for(qwen, 2.0)
+        for kv in kvs:
+            engine.kv.swap_out(kv)
+        if not config.fine_grained_sync:
+            yield from engine.kv.drain()
+        record = yield from engine.scale_to(yi)
+        return record
+
+    record = env.run(until=env.process(scenario()))
+    return record, engine
+
+
+def main() -> None:
+    levels = [
+        ("T0 unoptimized", EngineConfig.unoptimized(), False),
+        ("T1 +reuse", EngineConfig(explicit_memory=False, fine_grained_sync=False, prefetch=False), False),
+        ("T2 +memory", EngineConfig(fine_grained_sync=False, prefetch=False), False),
+        ("T3 +fine sync", EngineConfig(prefetch=False), False),
+        ("T3 +prefetch", EngineConfig(), True),
+    ]
+    rows = []
+    for label, config, prefetch in levels:
+        record, engine = one_switch(config, prefetch)
+        stages = ", ".join(f"{k}={v:.2f}s" for k, v in record.stages.items())
+        rows.append((label, f"{record.total:.3f} s", stages))
+    print(format_table(["level", "switch", "stage breakdown"], rows,
+                       title="Preemptive scale Qwen-7B -> Yi-6B"))
+
+    # Peek at the memory managers after the last switch.
+    _, engine = one_switch(EngineConfig(), prefetch=True)
+    print("\nVRAM weight buffer (bump allocated):")
+    for allocation in engine.weights.live_allocations:
+        print(f"  [{allocation.offset:>12}..{allocation.end:>12})  {allocation.tag}")
+    print(f"  pointer at {engine.weights.used} / {engine.weights.capacity} bytes")
+    print("\nUnified CPU KV cache (slab allocated):")
+    for stats in engine.kv.cpu_cache.shape_stats():
+        print(
+            f"  {stats.shape}: {stats.used_blocks} blocks in "
+            f"{stats.slab_count} slabs, fragmentation {stats.fragmentation:.1%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: serve many models on a small GPU pool with Aegaeon.
+
+Builds a 4-GPU cluster, pools it between twelve 6-14B models with
+token-level auto-scaling, replays a synthetic market workload, and
+prints per-token SLO attainment plus auto-scaling statistics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import AegaeonConfig, AegaeonServer
+from repro.engine import EngineConfig
+from repro.hardware import Cluster, H800
+from repro.models import market_mix
+from repro.sim import Environment
+from repro.workload import sharegpt, synthesize_trace
+
+
+def main() -> None:
+    # 1. A simulated cluster: one node with four H800 GPUs.
+    env = Environment()
+    cluster = Cluster.homogeneous(env, H800, node_count=1, gpus_per_node=4)
+
+    # 2. Aegaeon on top: one prefill instance, three decoding instances.
+    server = AegaeonServer(
+        env,
+        cluster,
+        AegaeonConfig(
+            prefill_instances=1,
+            decode_instances=3,
+            engine=EngineConfig(),  # all §5 optimizations on
+        ),
+    )
+
+    # 3. A workload: twelve models, sporadic arrivals, ShareGPT lengths.
+    models = market_mix(12)
+    trace = synthesize_trace(
+        models, rates=[0.08] * len(models), dataset=sharegpt(), horizon=120.0, seed=7
+    )
+    print(f"Serving {len(models)} models / {len(trace)} requests on {len(cluster)} GPUs...")
+
+    # 4. Serve and report.
+    result = server.serve(trace)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("requests finished", f"{result.finished_requests}/{len(trace)}"),
+                ("SLO attainment", f"{result.slo_attainment():.1%}"),
+                ("mean TTFT", f"{result.summary()['mean_ttft']:.2f} s"),
+                ("models per GPU", f"{len(models) / len(cluster):.1f}"),
+            ],
+            title="Quickstart results",
+        )
+    )
+    latencies = result.scaling_latencies()
+    print(
+        f"\nauto-scalings: {len(latencies)}, median "
+        f"{np.median(latencies):.2f} s, near-instant (prefetch) "
+        f"{np.mean(latencies < 0.25):.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

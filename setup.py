@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+The project deliberately has no pyproject.toml: its presence forces pip
+onto the PEP 517 isolated-build path, which needs network access to
+fetch setuptools/wheel and therefore breaks ``pip install -e .`` on
+air-gapped machines.
+"""
+
+from setuptools import setup
+
+setup()

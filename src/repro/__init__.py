@@ -1,0 +1,10 @@
+"""Aegaeon reproduction: token-level GPU pooling for multi-model LLM serving.
+
+This package reproduces *Aegaeon: Effective GPU Pooling for Concurrent LLM
+Serving on the Market* (SOSP 2025) as a complete, simulation-backed
+serving system.  See :mod:`repro.core` for the Aegaeon system itself,
+:mod:`repro.baselines` for ServerlessLLM/MuxServe comparators, and
+``DESIGN.md`` for the full system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,15 @@
+"""Baseline serving systems: ServerlessLLM(+), MuxServe, dedicated."""
+
+from .base import BaselineServer
+from .muxserve import DedicatedServing, MuxServe, SharedGpuInstance, plan_placement
+from .serverless_llm import ServerlessLLM, ServerlessLLMPlus
+
+__all__ = [
+    "BaselineServer",
+    "DedicatedServing",
+    "MuxServe",
+    "ServerlessLLM",
+    "ServerlessLLMPlus",
+    "SharedGpuInstance",
+    "plan_placement",
+]

@@ -1,0 +1,9 @@
+"""Shared machinery for baseline serving systems.
+
+The implementation lives in :mod:`repro.core.serving`; this module
+re-exports it so baselines keep a local, stable import path.
+"""
+
+from ..core.serving import BaselineServer
+
+__all__ = ["BaselineServer"]

@@ -1,0 +1,301 @@
+"""ServerlessLLM baseline: request-level auto-scaling (§2.3, §7.1).
+
+ServerlessLLM scales models from host-memory checkpoints with a fast
+loader (the paper rates its loading "comparable" to Aegaeon's), but it
+schedules at the **request** granularity: an instance switches models
+only when its running requests complete.  Under aggressive pooling this
+head-of-line blocking is what caps its SLO attainment (Figure 2(a),
+§3.1), so our model deliberately grants it Aegaeon-grade switch costs
+and conventional vLLM-style continuous batching, isolating scheduling
+granularity as the differentiator — exactly the paper's comparison.
+
+``ServerlessLLMPlus`` (§7.1) extends it with oracle Shortest-Job-First
+ordering over the waiting queue.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..core.slo import DEFAULT_SLO, SloSpec
+from ..engine.batching import BatchingPolicy, ContinuousBatcher
+from ..engine.block_manager import BlockManager
+from ..engine.engine import AegaeonEngine, EngineConfig, ScaleRecord
+from ..engine.request import Phase, Request
+from ..hardware.cluster import Cluster
+from ..memory.model_cache import HostModelCache
+from ..memory.slab import SlabAllocator
+from ..models.catalog import ModelSpec
+from ..sim import Environment, Event
+from ..workload.trace import Trace
+from .base import BaselineServer
+
+__all__ = ["ServerlessLLM", "ServerlessLLMPlus"]
+
+GiB = 1024**3
+
+# Decode chunking, mirroring the Aegaeon instances.
+DECODE_CHUNK_STEPS = 16
+
+
+class _ServerlessInstance:
+    """One GPU (or TP group) running whole requests for one model at a time."""
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: AegaeonEngine,
+        server: "ServerlessLLM",
+        name: str,
+    ):
+        self.env = env
+        self.engine = engine
+        self.server = server
+        self.name = name
+        self.waiting: list[Request] = []
+        self.batcher: Optional[ContinuousBatcher] = None
+        self._wake: Optional[Event] = None
+        self.process = env.process(self._run())
+
+    # -- dispatch interface ------------------------------------------------
+    @property
+    def current_model(self) -> Optional[ModelSpec]:
+        return self.engine.current_model
+
+    @property
+    def active(self) -> bool:
+        return bool(self.waiting) or (
+            self.batcher is not None and self.batcher.has_work
+        )
+
+    def estimated_backlog(self) -> float:
+        """Rough seconds of queued work (for least-loaded routing)."""
+        backlog = 0.0
+        for request in self.waiting:
+            latency = self.engine.latency_model(request.spec)
+            backlog += latency.estimate_service_time(
+                request.input_tokens, request.output_tokens
+            )
+        if self.batcher is not None:
+            for request in self.batcher.running:
+                latency = self.engine.latency_model(request.spec)
+                backlog += request.remaining_tokens * latency.decode_step_time(
+                    max(1, len(self.batcher.running)), request.context_tokens
+                )
+        return backlog
+
+    def enqueue(self, request: Request) -> None:
+        self.waiting.append(request)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- main loop ----------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            if not self.active:
+                self._wake = self.env.event()
+                if not self.active:
+                    yield self._wake
+                self._wake = None
+                continue
+            if self.batcher is not None and self.batcher.has_work:
+                yield from self._serve_current()
+                continue
+            # Request-level scaling point: running set has drained.
+            target = self._pick_next_model()
+            if target is None:
+                continue
+            yield from self._switch_to(target)
+
+    def _pick_next_model(self) -> Optional[ModelSpec]:
+        """Next model by queue policy (FCFS base, SJF in the + variant)."""
+        if not self.waiting:
+            return None
+        self.server.order_queue(self.waiting, self.engine)
+        return self.waiting[0].spec
+
+    def _switch_to(self, spec: ModelSpec) -> Generator:
+        yield from self.engine.scale_to(spec)
+        pool_bytes = self.engine.gpu_kv_cache.region_bytes
+        block_manager = BlockManager(
+            pool_bytes, spec, tp=self.engine.config.tp,
+            block_tokens=self.engine.config.block_tokens,
+        )
+        self.batcher = ContinuousBatcher(
+            block_manager, BatchingPolicy(max_batch_size=self.server.max_batch_size)
+        )
+        self._drain_matching(spec)
+
+    def _drain_matching(self, spec: ModelSpec) -> None:
+        """Move same-model waiting requests into the engine's queue."""
+        matching = [r for r in self.waiting if r.spec.name == spec.name]
+        for request in matching:
+            self.waiting.remove(request)
+            self.batcher.enqueue(request)
+
+    def _serve_current(self) -> Generator:
+        spec = self.engine.current_model
+        # Continuous batching: newly arrived same-model requests join.
+        self._drain_matching(spec)
+        admitted = self.batcher.admit_prefills()
+        if admitted:
+            yield from self._prefill(spec, admitted)
+            return
+        if self.batcher.running:
+            yield from self._decode_chunk(spec)
+            return
+        # Nothing admissible (pool full with zero running cannot happen;
+        # waiting holds only other models) — let the loop switch.
+        self.batcher = None if not self.batcher.has_work else self.batcher
+
+    def _prefill(self, spec: ModelSpec, admitted: list[Request]) -> Generator:
+        for request in admitted:
+            request.phase = Phase.PREFILLING
+            request.prefill_start = self.env.now
+        yield from self.engine.prefill(
+            spec, [request.input_tokens for request in admitted]
+        )
+        now = self.env.now
+        for request in admitted:
+            request.prefill_end = now
+            request.record_tokens([now])
+            request.decode_enqueue = now
+        self.batcher.start_decoding(admitted)
+        self._finish_done()
+
+    def _decode_chunk(self, spec: ModelSpec) -> Generator:
+        running = self.batcher.decode_batch()
+        step = self.engine.decode_step_time(
+            spec, len(running), sum(r.context_tokens for r in running)
+        )
+        steps = max(1, min(
+            DECODE_CHUNK_STEPS, min(r.remaining_tokens for r in running)
+        ))
+        chunk_start = self.env.now
+        yield from self.engine.decode_for(spec, steps * step)
+        for request in running:
+            context_before = request.context_tokens
+            times = [chunk_start + (i + 1) * step for i in range(steps)]
+            request.record_tokens(times)
+            request.decode_exec_time += steps * step
+            try:
+                self.batcher.block_manager.append_tokens(
+                    request.request_id, context_before, steps
+                )
+            except MemoryError:
+                # vLLM-style preemption: release and recompute later.
+                self.batcher.block_manager.release(request.request_id)
+                self.batcher.running.remove(request)
+                request.phase = Phase.QUEUED
+                self.batcher.waiting.insert(0, request)
+        self._finish_done()
+
+    def _finish_done(self) -> None:
+        for request in [r for r in self.batcher.running if r.finished]:
+            self.batcher.retire(request)
+            request.complete(self.env.now)
+            self.server.note_finished(request)
+
+
+class ServerlessLLM(BaselineServer):
+    """Request-level auto-scaling across a GPU pool."""
+
+    label = "ServerlessLLM"
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        instance_count: Optional[int] = None,
+        tp: int = 1,
+        slo: SloSpec = DEFAULT_SLO,
+        max_batch_size: int = 32,
+        model_cache_bytes: int = 1280 * GiB,
+    ):
+        super().__init__(env, slo)
+        self.max_batch_size = max_batch_size
+        available = len(cluster.gpus) // tp
+        count = available if instance_count is None else instance_count
+        if count > available:
+            raise ValueError(f"cluster supports {available} TP={tp} instances")
+        self.model_cache = HostModelCache(model_cache_bytes)
+        # ServerlessLLM holds no cross-model unified KV cache; engines
+        # get a token-sized CPU pool purely to satisfy the engine API.
+        cpu_kv = SlabAllocator(region_bytes=GiB, slab_bytes=64 * 1024**2)
+        vram = cluster.gpus[0].spec.vram_bytes
+        weight_buffer = min(30 * GiB, int(vram * 0.9) - 8 * GiB)
+        engine_config = EngineConfig(
+            prefetch=False,
+            fine_grained_sync=False,
+            tp=tp,
+            weight_buffer_bytes=weight_buffer,
+        )
+        self.instances = []
+        gpus = cluster.gpus
+        for index in range(count):
+            group = gpus[index * tp : (index + 1) * tp]
+            engine = AegaeonEngine(
+                env,
+                cluster.node_of(group[0]),
+                group,
+                self.model_cache,
+                cpu_kv,
+                config=engine_config,
+                name=f"sllm{index}",
+                pre_initialized=True,
+            )
+            self.instances.append(
+                _ServerlessInstance(env, engine, self, name=f"sllm{index}")
+            )
+        self.gpu_count = count * tp
+
+    # -- policy hooks ------------------------------------------------------
+    def order_queue(self, waiting: list[Request], engine: AegaeonEngine) -> None:
+        """FCFS: keep arrival order."""
+        waiting.sort(key=lambda request: request.arrival)
+
+    # -- dispatch ----------------------------------------------------------
+    def dispatch(self, request: Request) -> None:
+        # Affinity first: an instance already serving this model.
+        for instance in self.instances:
+            current = instance.current_model
+            if current is not None and current.name == request.spec.name and instance.active:
+                instance.enqueue(request)
+                return
+        # Otherwise any idle instance (request-level scale-up).
+        for instance in self.instances:
+            if not instance.active:
+                instance.enqueue(request)
+                return
+        # All busy: queue on the least-loaded instance (HOL blocking
+        # territory — the behaviour §3.1 analyzes).
+        target = min(self.instances, key=lambda inst: inst.estimated_backlog())
+        target.enqueue(request)
+
+    def prepare(self, trace: Trace) -> None:
+        for spec in trace.models:
+            self.model_cache.insert(
+                spec.name, spec.weight_bytes // max(1, self.instances[0].engine.config.tp)
+            )
+
+    def scale_records(self) -> list[ScaleRecord]:
+        return [
+            record
+            for instance in self.instances
+            for record in instance.engine.scale_history
+        ]
+
+
+class ServerlessLLMPlus(ServerlessLLM):
+    """ServerlessLLM with oracle Shortest-Job-First queueing (§7.1)."""
+
+    label = "ServerlessLLM+"
+
+    def order_queue(self, waiting: list[Request], engine: AegaeonEngine) -> None:
+        def oracle_service_time(request: Request) -> float:
+            latency = engine.latency_model(request.spec)
+            return latency.estimate_service_time(
+                request.input_tokens, request.output_tokens
+            )
+
+        waiting.sort(key=lambda request: (oracle_service_time(request), request.arrival))

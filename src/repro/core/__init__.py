@@ -1,0 +1,46 @@
+"""Aegaeon core: token-level scheduling, instances, and the server."""
+
+from .decode_sched import (
+    BatchedDecodeScheduler,
+    DecodeBatch,
+    QMAX,
+    compute_quotas,
+    estimate_round_attainment,
+    reorder_work_list,
+)
+from .instance import DecodeInstance, PrefillInstance
+from .prefill_sched import (
+    GroupedPrefillScheduler,
+    MAX_GPSIZE,
+    PrefillGroup,
+)
+from .proxy import ProxyLayer, StatusRegistry
+from .server import AegaeonConfig, AegaeonServer
+from .slo import DEFAULT_SLO, SloSpec, token_deadlines, tokens_met
+from .unified import DECODE_FIRST, PREFILL_FIRST, UnifiedInstance, UnifiedServer
+
+__all__ = [
+    "AegaeonConfig",
+    "AegaeonServer",
+    "BatchedDecodeScheduler",
+    "DEFAULT_SLO",
+    "DecodeBatch",
+    "DecodeInstance",
+    "GroupedPrefillScheduler",
+    "MAX_GPSIZE",
+    "PrefillGroup",
+    "PrefillInstance",
+    "ProxyLayer",
+    "QMAX",
+    "SloSpec",
+    "StatusRegistry",
+    "DECODE_FIRST",
+    "PREFILL_FIRST",
+    "UnifiedInstance",
+    "UnifiedServer",
+    "compute_quotas",
+    "estimate_round_attainment",
+    "reorder_work_list",
+    "token_deadlines",
+    "tokens_met",
+]

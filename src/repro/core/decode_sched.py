@@ -1,0 +1,175 @@
+"""Batched decoding-phase scheduling (§4.3, Algorithm 2).
+
+Decoding exploits a unique slack: for target TBT ``d`` and step time
+``t``, every ``n = d/t`` decoded steps tolerate ``n*(d - t)`` of delay
+without violating per-token deadlines, because the output stream can be
+buffered.  Aegaeon therefore rotates decode batches in *rounds* of
+weighted turns, sizing each batch's time quota so that the whole round's
+auto-scaling cost ``c`` fits inside the earned slack:
+
+    q_i = c / (n_i * (alpha - sum_k 1/n_k))                     (Eq. 2)
+    alpha = max(c / (min_k n_k * QMAX) + sum_k 1/n_k, 0.5)      (Eq. 3)
+
+``1/alpha`` is the round's estimated SLO attainment; the 0.5 floor keeps
+turns short (hence responsive to new batches) when SLOs are comfortably
+met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from ..engine.request import Request
+from ..models.catalog import ModelSpec
+from .slo import SloSpec
+
+__all__ = [
+    "QMAX",
+    "BatchedDecodeScheduler",
+    "DecodeBatch",
+    "DecodeInstanceLike",
+    "compute_quotas",
+    "estimate_round_attainment",
+    "reorder_work_list",
+]
+
+# Maximum per-turn quota, seconds; the paper sets 4 s empirically and
+# reports robustness to alternative settings.
+QMAX = 4.0
+
+
+@dataclass
+class DecodeBatch:
+    """Same-model requests decoded together in one turn."""
+
+    spec: ModelSpec
+    requests: list[Request] = field(default_factory=list)
+    max_size: int = 32
+    quota: float = 0.0
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def has_room(self) -> bool:
+        return self.size < self.max_size
+
+    @property
+    def context_tokens(self) -> int:
+        """Total KV tokens the batch attends over this step."""
+        return sum(request.context_tokens for request in self.requests)
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.requests
+
+
+class DecodeInstanceLike(Protocol):
+    """What the scheduler needs from a decode instance."""
+
+    work_list: list[DecodeBatch]
+
+    def batch_capacity(self, spec: ModelSpec) -> int:
+        ...
+
+    def kick(self) -> None:
+        ...
+
+
+class BatchedDecodeScheduler:
+    """Algorithm 2's dispatch side: place prefilled requests in batches."""
+
+    def __init__(self, instances: list[DecodeInstanceLike]):
+        if not instances:
+            raise ValueError("need at least one decode instance")
+        self.instances = instances
+
+    def dispatch(self, request: Request) -> DecodeInstanceLike:
+        """Place a prefilled request; returns the chosen instance."""
+        # Prefer an existing batch of the same model with room.
+        for instance in self.instances:
+            for batch in instance.work_list:
+                if batch.spec.name == request.spec.name and batch.has_room:
+                    batch.requests.append(request)
+                    instance.kick()
+                    return instance
+        # Otherwise open a batch on the least-loaded instance, where
+        # load is the work-list size (Algorithm 2, line 2).
+        target = min(self.instances, key=lambda inst: len(inst.work_list))
+        batch = DecodeBatch(
+            spec=request.spec,
+            requests=[request],
+            max_size=target.batch_capacity(request.spec),
+        )
+        target.work_list.append(batch)
+        target.kick()
+        return target
+
+
+def reorder_work_list(work_list: list[DecodeBatch]) -> list[DecodeBatch]:
+    """Group batches of the same model adjacently, preserving first-seen order.
+
+    Same-model batches occur when one batch's KV needs exceed the GPU
+    cache; placing them adjacently avoids pointless switches.
+    """
+    order: dict[str, int] = {}
+    for batch in work_list:
+        order.setdefault(batch.spec.name, len(order))
+    indexed = sorted(
+        enumerate(work_list),
+        key=lambda item: (order[item[1].spec.name], item[0]),
+    )
+    return [batch for _, batch in indexed]
+
+
+def compute_quotas(
+    batches: list[DecodeBatch],
+    step_times: list[float],
+    total_switch_cost: float,
+    slo: SloSpec,
+    qmax: float = QMAX,
+) -> list[float]:
+    """Assign the Eq. 2 time quota to every batch in a round.
+
+    ``step_times`` are the estimated per-step decode times ``t_k``;
+    ``total_switch_cost`` is ``c``, the summed auto-scaling overhead of
+    the round's model switches.
+    """
+    if len(batches) != len(step_times):
+        raise ValueError("need one step-time estimate per batch")
+    if not batches:
+        return []
+    # n_k = d / t_k, the tokens one TBT period buys.
+    slack_ratios = [max(slo.tbt / max(t, 1e-9), 1.0 + 1e-9) for t in step_times]
+    inverse_sum = sum(1.0 / n for n in slack_ratios)
+    if total_switch_cost <= 0.0 or len(batches) == 1:
+        # No scaling cost to amortize: turns default to the maximum
+        # quota (a single batch simply keeps decoding).
+        return [qmax] * len(batches)
+    alpha = max(
+        total_switch_cost / (min(slack_ratios) * qmax) + inverse_sum,
+        0.5,
+    )
+    quotas = []
+    for n in slack_ratios:
+        quota = total_switch_cost / (n * (alpha - inverse_sum))
+        quotas.append(min(max(quota, 0.0), qmax))
+    return quotas
+
+
+def estimate_round_attainment(
+    step_times: list[float], total_switch_cost: float, slo: SloSpec, qmax: float = QMAX
+) -> float:
+    """The scheduler's own 1/alpha attainment estimate for a round."""
+    if not step_times:
+        return 1.0
+    slack_ratios = [max(slo.tbt / max(t, 1e-9), 1.0 + 1e-9) for t in step_times]
+    inverse_sum = sum(1.0 / n for n in slack_ratios)
+    if total_switch_cost <= 0.0:
+        return 1.0
+    alpha = max(
+        total_switch_cost / (min(slack_ratios) * qmax) + inverse_sum, 0.5
+    )
+    return min(1.0, 1.0 / alpha)

@@ -1,0 +1,371 @@
+"""Prefill and decoding instances (§4.1 disaggregation, Figure 6(c)).
+
+Aegaeon splits its GPU pool into a prefill partition and a decoding
+partition.  Each instance is one engine (a TP group of GPUs) driven by a
+simulation process:
+
+* :class:`PrefillInstance` executes grouped prefill jobs front-to-back
+  (Algorithm 1's execution side), scaling the engine between groups and
+  offloading finished prompts' KV to the unified CPU cache.
+* :class:`DecodeInstance` rotates its work list in weighted round-robin
+  turns (Algorithm 2's execution side), swapping KV in/out around each
+  turn and prefetching the next model during the current turn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..engine.engine import AegaeonEngine
+from ..engine.request import Phase, Request
+from ..models.catalog import ModelSpec
+from ..models.kv import kv_shape
+from ..sim import Environment, Event
+from ..transfer.kv_transfer import RequestKv
+from .decode_sched import (
+    DecodeBatch,
+    QMAX,
+    compute_quotas,
+    reorder_work_list,
+)
+from .prefill_sched import PrefillGroup
+from .slo import SloSpec
+
+__all__ = ["PrefillInstance", "DecodeInstance"]
+
+# Decode chunking: token timestamps within a chunk are computed
+# arithmetically; the chunk size bounds how stale the batch composition
+# can get (finished/grown requests are reconciled at chunk boundaries).
+DECODE_CHUNK_STEPS = 16
+# Retry pacing for transient KV-cache pressure.
+ALLOC_RETRY_DELAY = 0.005
+
+
+class PrefillInstance:
+    """One prefill engine plus its grouped job queue."""
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: AegaeonEngine,
+        on_prefilled: Callable[[Request], None],
+        name: str = "prefill",
+    ):
+        self.env = env
+        self.engine = engine
+        self.on_prefilled = on_prefilled
+        self.name = name
+        self.groups: list[PrefillGroup] = []
+        self._wake: Optional[Event] = None
+        self.process = env.process(self._run())
+
+    # -- scheduler interface (PrefillInstanceLike) ---------------------------
+    def current_model(self) -> Optional[ModelSpec]:
+        """The model currently resident on this instance's engine."""
+        return self.engine.current_model
+
+    def estimate_group_time(
+        self, group: PrefillGroup, previous: Optional[ModelSpec]
+    ) -> float:
+        """Execution + auto-scaling estimate for one queued group."""
+        latency = self.engine.latency_model(group.spec)
+        execution = sum(
+            latency.prefill_time([request.input_tokens])
+            for request in group.requests
+        )
+        switch = 0.0
+        if previous is None or previous.name != group.spec.name:
+            switch = self.engine.estimate_switch_time(group.spec)
+        return execution + switch
+
+    def kick(self) -> None:
+        """Wake the instance loop after new work arrives."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- main loop -------------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            if not self.groups:
+                yield from self._sleep()
+                continue
+            group = self.groups[0]
+            if group.exhausted:
+                self.groups.pop(0)
+                continue
+            request = group.requests.popleft()
+            yield from self._execute(group.spec, request)
+
+    def _sleep(self) -> Generator:
+        self._wake = self.env.event()
+        if not self.groups:
+            yield self._wake
+        self._wake = None
+
+    def _execute(self, spec: ModelSpec, request: Request) -> Generator:
+        if (
+            self.engine.current_model is None
+            or self.engine.current_model.name != spec.name
+        ):
+            # Look ahead: start prefetching the following group's model
+            # while this scale-up runs its non-load stages.
+            yield from self.engine.scale_to(spec)
+        self._prefetch_next(spec)
+        # KV for the prompt; retried under transient cache pressure
+        # (swap-outs free blocks asynchronously).
+        request.kv = RequestKv(
+            request_id=request.request_id,
+            shape=kv_shape(request.spec, self.engine.config.tp),
+            tokens=request.input_tokens,
+            block_tokens=self.engine.config.block_tokens,
+        )
+        while True:
+            try:
+                self.engine.kv.alloc_gpu(request.kv)
+                break
+            except MemoryError:
+                yield self.env.timeout(ALLOC_RETRY_DELAY)
+        request.phase = Phase.PREFILLING
+        request.prefill_start = self.env.now
+        yield from self.engine.prefill(spec, [request.input_tokens])
+        request.prefill_end = self.env.now
+        request.record_tokens([self.env.now])  # the first output token
+        # Offload the prompt KV to the unified CPU cache.  Under
+        # fine-grained sync this overlaps with the next prefill; the
+        # unoptimized path must drain before proceeding.
+        while True:
+            try:
+                self.engine.kv.swap_out(request.kv)
+                break
+            except MemoryError:
+                yield self.env.timeout(ALLOC_RETRY_DELAY)
+        if not self.engine.config.fine_grained_sync:
+            yield from self.engine.kv.drain()
+        request.phase = Phase.DECODING
+        request.decode_enqueue = self.env.now
+        self.on_prefilled(request)
+
+    def _prefetch_next(self, current: ModelSpec) -> None:
+        for group in self.groups:
+            if group.spec.name != current.name and not group.exhausted:
+                self.engine.prefetch(group.spec)
+                return
+
+
+class DecodeInstance:
+    """One decoding engine plus its rotating work list."""
+
+    def __init__(
+        self,
+        env: Environment,
+        engine: AegaeonEngine,
+        slo: SloSpec,
+        on_finished: Callable[[Request], None],
+        name: str = "decode",
+        max_batch_size: int = 32,
+        qmax: float = QMAX,
+    ):
+        self.env = env
+        self.engine = engine
+        self.slo = slo
+        self.on_finished = on_finished
+        self.name = name
+        self.max_batch_size = max_batch_size
+        self.qmax = qmax
+        self.work_list: list[DecodeBatch] = []
+        self._wake: Optional[Event] = None
+        self.rounds = 0
+        self.turns = 0
+        self.process = env.process(self._run())
+
+    # -- scheduler interface (DecodeInstanceLike) ---------------------------
+    def batch_capacity(self, spec: ModelSpec) -> int:
+        """Max batch size derived from the GPU KV capacity (Alg. 2, line 2)."""
+        shape = kv_shape(spec, self.engine.config.tp)
+        capacity_tokens = (
+            self.engine.gpu_kv_cache.region_bytes // shape.bytes_per_token
+        )
+        # Leave headroom for context growth and a second batch in
+        # flight; ShareGPT-like requests average ~1k context tokens.
+        typical_context = 1024
+        return max(1, min(self.max_batch_size, capacity_tokens // (2 * typical_context)))
+
+    def kick(self) -> None:
+        """Wake the instance loop after new work arrives."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- main loop -------------------------------------------------------------
+    def _run(self) -> Generator:
+        while True:
+            self._prune()
+            if not self.work_list:
+                yield from self._sleep()
+                continue
+            yield from self._round()
+
+    def _sleep(self) -> Generator:
+        self._wake = self.env.event()
+        if not self.work_list:
+            yield self._wake
+        self._wake = None
+
+    def _round(self) -> Generator:
+        """One full rotation of the work list (Algorithm 2, lines 4-11)."""
+        self.rounds += 1
+        self.work_list[:] = reorder_work_list(self.work_list)
+        batches = list(self.work_list)
+        step_times = [
+            self.engine.decode_step_time(
+                batch.spec, max(batch.size, 1), max(batch.context_tokens, 1)
+            )
+            for batch in batches
+        ]
+        switch_cost = self._round_switch_cost(batches)
+        quotas = compute_quotas(batches, step_times, switch_cost, self.slo, self.qmax)
+        for index, (batch, quota) in enumerate(zip(batches, quotas)):
+            if batch.exhausted:
+                continue
+            self.turns += 1
+            if (
+                self.engine.current_model is None
+                or self.engine.current_model.name != batch.spec.name
+            ):
+                yield from self.engine.scale_to(batch.spec)
+            self._prefetch_after(batch)
+            yield from self._swap_in_batch(batch)
+            # Figure 10's overlap: while this turn decodes, the *next*
+            # batch's KV streams in on the kv_in stream, guarded by
+            # per-request events — by its turn, rule ❶ is already met.
+            self._issue_swap_in_async(batches, index)
+            yield from self._decode_for(batch, quota)
+            if self._distinct_models() > 1:
+                yield from self._swap_out_batch(batch)
+        self._prune()
+
+    def _issue_swap_in_async(self, batches: list[DecodeBatch], index: int) -> None:
+        """Start the next non-empty batch's KV swap-in without waiting."""
+        for other in batches[index + 1 :]:
+            if other.exhausted:
+                continue
+            for request in other.requests:
+                if request.kv is not None and request.kv.location == "cpu":
+                    try:
+                        self.engine.kv.swap_in(request.kv)
+                    except MemoryError:
+                        return  # cache pressure: its own turn will retry
+            return
+
+    def _distinct_models(self) -> int:
+        return len({batch.spec.name for batch in self.work_list if not batch.exhausted})
+
+    def _round_switch_cost(self, batches: list[DecodeBatch]) -> float:
+        """``c``: summed auto-scaling overhead across the round's models."""
+        seen: set[str] = set()
+        cost = 0.0
+        for batch in batches:
+            if batch.spec.name in seen:
+                continue
+            seen.add(batch.spec.name)
+            cost += self.engine.base_switch_time(batch.spec)
+        # A single-model round needs no switching at all.
+        return cost if len(seen) > 1 else 0.0
+
+    def _prefetch_after(self, batch: DecodeBatch) -> None:
+        """Prefetch the next distinct model while this turn decodes."""
+        names = [b.spec.name for b in self.work_list]
+        try:
+            index = names.index(batch.spec.name)
+        except ValueError:
+            return
+        for other in self.work_list[index + 1 :] + self.work_list[:index]:
+            if other.spec.name != batch.spec.name and not other.exhausted:
+                self.engine.prefetch(other.spec)
+                return
+
+    def _swap_in_batch(self, batch: DecodeBatch) -> Generator:
+        for request in list(batch.requests):
+            if request.kv is not None and request.kv.location == "cpu":
+                while True:
+                    try:
+                        self.engine.kv.swap_in(request.kv)
+                        break
+                    except MemoryError:
+                        yield self.env.timeout(ALLOC_RETRY_DELAY)
+        if not self.engine.config.fine_grained_sync:
+            yield from self.engine.kv.drain()
+
+    def _swap_out_batch(self, batch: DecodeBatch) -> Generator:
+        for request in batch.requests:
+            if request.kv is not None and request.kv.location == "gpu":
+                while True:
+                    try:
+                        self.engine.kv.swap_out(request.kv)
+                        break
+                    except MemoryError:
+                        yield self.env.timeout(ALLOC_RETRY_DELAY)
+        if not self.engine.config.fine_grained_sync:
+            yield from self.engine.kv.drain()
+
+    def _decode_for(self, batch: DecodeBatch, quota: float) -> Generator:
+        """Decode ``batch`` for up to ``quota`` seconds (one turn)."""
+        turn_start = self.env.now
+        while self.env.now - turn_start < quota and not batch.exhausted:
+            # Requests that joined the batch mid-round still sit in the
+            # CPU cache; pull them in so they decode within this turn.
+            if any(r.kv is not None and r.kv.location == "cpu" for r in batch.requests):
+                yield from self._swap_in_batch(batch)
+            ready = [r for r in batch.requests if r.kv is not None and r.kv.ready_on_gpu()]
+            if not ready:
+                yield from self._wait_for_any_transfer(batch)
+                continue
+            step = self.engine.decode_step_time(
+                batch.spec, len(ready), sum(r.context_tokens for r in ready)
+            )
+            remaining_time = quota - (self.env.now - turn_start)
+            steps = max(1, min(
+                DECODE_CHUNK_STEPS,
+                int(remaining_time // step) if step > 0 else DECODE_CHUNK_STEPS,
+                min(r.remaining_tokens for r in ready),
+            ))
+            chunk_start = self.env.now
+            yield from self.engine.decode_for(batch.spec, steps * step)
+            for request in ready:
+                times = [chunk_start + (i + 1) * step for i in range(steps)]
+                request.record_tokens(times)
+                request.decode_exec_time += steps * step
+                try:
+                    request.kv.grow(steps, self.engine.gpu_kv_cache)
+                except MemoryError:
+                    # Cache pressure: demote this request until space frees.
+                    self.engine.kv.swap_out(request.kv)
+            self._retire_finished(batch)
+
+    def _wait_for_any_transfer(self, batch: DecodeBatch) -> Generator:
+        """Rule ❶ stall: no request's KV is usable yet."""
+        pending = [
+            r.kv.last_transfer.wait()
+            for r in batch.requests
+            if r.kv is not None and r.kv.last_transfer is not None
+            and not r.kv.last_transfer.query()
+        ]
+        start = self.env.now
+        if pending:
+            yield self.env.any_of(pending)
+        else:
+            yield self.env.timeout(ALLOC_RETRY_DELAY)
+        if batch.requests:
+            self.engine.kv.stats.charge_wait(
+                batch.requests[0].request_id, self.env.now - start
+            )
+
+    def _retire_finished(self, batch: DecodeBatch) -> None:
+        for request in [r for r in batch.requests if r.finished]:
+            batch.requests.remove(request)
+            if request.kv is not None and request.kv.location == "gpu":
+                self.engine.kv.free_gpu(request.kv)
+            request.complete(self.env.now)
+            self.on_finished(request)
+
+    def _prune(self) -> None:
+        self.work_list[:] = [b for b in self.work_list if not b.exhausted]

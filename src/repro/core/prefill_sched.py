@@ -1,0 +1,104 @@
+"""Grouped prefill-phase scheduling (§4.2, Algorithm 1).
+
+Prefill jobs are grouped by model to amortize auto-scaling: a new request
+first tries to join an existing group for its model (anywhere in the
+pool) provided the group's *accumulative* size is below ``MAX_GPSIZE``;
+otherwise it opens a new group on the least-loaded prefill instance,
+where load is the estimated time to finish every pending group —
+execution plus the auto-scaling between groups (Appendix A.2).
+
+Batch size on prefill instances is one: prefill time grows ~linearly
+with tokens, so smaller batches cut waiting time without hurting
+throughput and release requests to the decoding phase eagerly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from ..engine.request import Request
+from ..models.catalog import ModelSpec
+
+__all__ = ["MAX_GPSIZE", "PrefillGroup", "PrefillInstanceLike", "GroupedPrefillScheduler"]
+
+# Grid-searched in the paper; larger values behave identically because
+# groups seldom grow past 8, smaller ones re-scale too often under load.
+MAX_GPSIZE = 8
+
+
+@dataclass
+class PrefillGroup:
+    """A run of same-model prefill jobs executed back to back."""
+
+    spec: ModelSpec
+    requests: deque[Request] = field(default_factory=deque)
+    # Accumulative: executing a request does NOT decrease this (the
+    # Algorithm 1 line 6 check), bounding deviation from FCFS.
+    accumulated: int = 0
+
+    def add(self, request: Request) -> None:
+        """Append a request, growing the accumulative size."""
+        self.requests.append(request)
+        self.accumulated += 1
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.requests
+
+
+class PrefillInstanceLike(Protocol):
+    """What the scheduler needs from a prefill instance."""
+
+    groups: list[PrefillGroup]
+
+    def estimate_group_time(self, group: PrefillGroup, previous: Optional[ModelSpec]) -> float:
+        ...
+
+    def current_model(self) -> Optional[ModelSpec]:
+        ...
+
+    def kick(self) -> None:
+        ...
+
+
+class GroupedPrefillScheduler:
+    """Algorithm 1: grouped FCFS dispatch across prefill instances."""
+
+    def __init__(self, instances: list[PrefillInstanceLike], max_group_size: int = MAX_GPSIZE):
+        if not instances:
+            raise ValueError("need at least one prefill instance")
+        if max_group_size <= 0:
+            raise ValueError("max_group_size must be positive")
+        self.instances = instances
+        self.max_group_size = max_group_size
+
+    def dispatch(self, request: Request) -> PrefillInstanceLike:
+        """Place one request; returns the instance that received it."""
+        # Lines 4-8: prioritize an existing group for this model.
+        for instance in self.instances:
+            for group in instance.groups:
+                if (
+                    group.spec.name == request.spec.name
+                    and group.accumulated < self.max_group_size
+                ):
+                    group.add(request)
+                    instance.kick()
+                    return instance
+        # Lines 9-13: open a new group on the least-loaded instance.
+        target = min(self.instances, key=self.estimate_load)
+        group = PrefillGroup(spec=request.spec)
+        group.add(request)
+        target.groups.append(group)
+        target.kick()
+        return target
+
+    def estimate_load(self, instance: PrefillInstanceLike) -> float:
+        """Time to finish all pending groups: execution + auto-scaling."""
+        load = 0.0
+        previous = instance.current_model()
+        for group in instance.groups:
+            load += instance.estimate_group_time(group, previous)
+            previous = group.spec
+        return load

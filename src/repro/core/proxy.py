@@ -1,0 +1,71 @@
+"""Proxy layer: request dispatch and status synchronization (Figure 5).
+
+The production system fronts the instance pool with a proxy/load-balancer
+that synchronizes request metadata through a shared in-memory store
+(Redis).  Here the :class:`StatusRegistry` plays that role — a single
+source of truth for request state that instances and the server update —
+and :class:`ProxyLayer` replays a trace into the prefill scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..engine.request import Phase, Request
+from ..sim import Environment, Event
+from ..workload.trace import Trace
+
+__all__ = ["StatusRegistry", "ProxyLayer"]
+
+
+@dataclass
+class StatusRegistry:
+    """Shared request-status store (the paper's Redis role)."""
+
+    statuses: dict[int, str] = field(default_factory=dict)
+    submitted: int = 0
+    finished: int = 0
+
+    def update(self, request: Request) -> None:
+        """Record a request's current phase."""
+        if request.request_id not in self.statuses:
+            self.submitted += 1
+        previous = self.statuses.get(request.request_id)
+        self.statuses[request.request_id] = request.phase.value
+        if request.phase is Phase.FINISHED and previous != Phase.FINISHED.value:
+            self.finished += 1
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.finished
+
+
+class ProxyLayer:
+    """Replays a trace, dispatching each arrival to the prefill scheduler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        dispatch: Callable[[Request], None],
+        registry: Optional[StatusRegistry] = None,
+    ):
+        self.env = env
+        self.dispatch = dispatch
+        self.registry = registry if registry is not None else StatusRegistry()
+        self.requests: list[Request] = []
+        self.all_submitted: Event = env.event()
+
+    def replay(self, trace: Trace) -> Generator:
+        """Process: submit every trace request at its arrival time."""
+        for trace_request in trace.requests:
+            delay = trace_request.arrival - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            request = Request(
+                trace=trace_request, spec=trace.spec_of(trace_request.model)
+            )
+            self.requests.append(request)
+            self.registry.update(request)
+            self.dispatch(request)
+        self.all_submitted.succeed()

@@ -1,0 +1,226 @@
+"""The Aegaeon serving system (Figure 5), assembled end to end.
+
+:class:`AegaeonServer` wires the whole stack together on a simulated
+cluster: per-node host caches, prefill/decoding engines and instances,
+the two token-level schedulers, and the proxy layer.  ``serve(trace)``
+replays a workload and returns a :class:`~repro.analysis.metrics.ServingResult`.
+
+One simplification versus the production deployment: the unified CPU KV
+cache and the model cache are cluster-wide objects rather than per-node
+(the paper moves KV between nodes through the network via the proxy
+tier; collapsing that tier does not change any scheduling decision —
+see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.engine import AegaeonEngine, EngineConfig
+from ..engine.request import Request
+from ..hardware.cluster import Cluster
+from ..memory.model_cache import HostModelCache
+from ..memory.slab import SlabAllocator
+from ..models.catalog import ModelSpec
+from ..sim import Environment
+from ..transfer.kv_transfer import MoveList
+from ..workload.trace import Trace
+from .decode_sched import BatchedDecodeScheduler
+from .instance import DecodeInstance, PrefillInstance
+from .prefill_sched import GroupedPrefillScheduler
+from .proxy import ProxyLayer, StatusRegistry
+from .slo import DEFAULT_SLO, SloSpec
+
+__all__ = ["AegaeonConfig", "AegaeonServer"]
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class AegaeonConfig:
+    """Deployment shape and engine features for one Aegaeon pool."""
+
+    prefill_instances: int = 6
+    decode_instances: int = 10
+    engine: EngineConfig = EngineConfig()
+    slo: SloSpec = DEFAULT_SLO
+    model_cache_bytes: int = 1280 * GiB  # two nodes x 640 GB
+    cpu_kv_cache_bytes: int = 640 * GiB  # two nodes x 320 GB
+    cpu_slab_bytes: int = 256 * 1024**2
+    max_batch_size: int = 32
+    drain_grace: float = 300.0  # extra sim time after the last arrival
+
+    @property
+    def gpus_needed(self) -> int:
+        return (self.prefill_instances + self.decode_instances) * self.engine.tp
+
+
+class AegaeonServer:
+    """Aegaeon on a cluster: instances, schedulers, proxy."""
+
+    def __init__(self, env: Environment, cluster: Cluster, config: AegaeonConfig = AegaeonConfig()):
+        if config.gpus_needed > len(cluster.gpus):
+            raise ValueError(
+                f"config needs {config.gpus_needed} GPUs, cluster has {len(cluster.gpus)}"
+            )
+        self.env = env
+        self.cluster = cluster
+        self.config = config
+        self.registry = StatusRegistry()
+        self.model_cache = HostModelCache(config.model_cache_bytes)
+        self.cpu_kv_cache = SlabAllocator(
+            config.cpu_kv_cache_bytes, config.cpu_slab_bytes
+        )
+        self.move_list = MoveList()
+        self.finished: list[Request] = []
+
+        tp = config.engine.tp
+        gpus = cluster.gpus
+        self.prefill_instances: list[PrefillInstance] = []
+        self.decode_instances: list[DecodeInstance] = []
+        cursor = 0
+        for index in range(config.prefill_instances):
+            group = gpus[cursor : cursor + tp]
+            cursor += tp
+            engine = AegaeonEngine(
+                env,
+                cluster.node_of(group[0]),
+                group,
+                self.model_cache,
+                self.cpu_kv_cache,
+                move_list=self.move_list,
+                config=config.engine,
+                name=f"prefill{index}",
+                pre_initialized=True,
+            )
+            self.prefill_instances.append(
+                PrefillInstance(
+                    env, engine, self._on_prefilled, name=f"prefill{index}"
+                )
+            )
+        for index in range(config.decode_instances):
+            group = gpus[cursor : cursor + tp]
+            cursor += tp
+            engine = AegaeonEngine(
+                env,
+                cluster.node_of(group[0]),
+                group,
+                self.model_cache,
+                self.cpu_kv_cache,
+                move_list=self.move_list,
+                config=config.engine,
+                name=f"decode{index}",
+                pre_initialized=True,
+            )
+            self.decode_instances.append(
+                DecodeInstance(
+                    env,
+                    engine,
+                    config.slo,
+                    self._on_finished,
+                    name=f"decode{index}",
+                    max_batch_size=config.max_batch_size,
+                )
+            )
+        self.prefill_scheduler = GroupedPrefillScheduler(self.prefill_instances)
+        self.decode_scheduler = BatchedDecodeScheduler(self.decode_instances)
+        self.proxy = ProxyLayer(env, self._on_arrival, self.registry)
+
+    # -- plumbing -----------------------------------------------------------
+    def _on_arrival(self, request: Request) -> None:
+        self.prefill_scheduler.dispatch(request)
+
+    def _on_prefilled(self, request: Request) -> None:
+        self.registry.update(request)
+        self.decode_scheduler.dispatch(request)
+
+    def _on_finished(self, request: Request) -> None:
+        self.registry.update(request)
+        self.finished.append(request)
+
+    # -- operation -----------------------------------------------------------
+    def warm(self, models: list[ModelSpec]) -> None:
+        """Pre-populate the host model cache (the deployment steady state)."""
+        tp = self.config.engine.tp
+        for spec in models:
+            self.model_cache.insert(spec.name, spec.weight_bytes // tp)
+
+    def serve(self, trace: Trace, warm: bool = True) -> "ServingResult":
+        """Replay ``trace`` to completion (or the drain deadline)."""
+        if warm:
+            self.warm(list(trace.models))
+        self.env.process(self.proxy.replay(trace))
+        deadline = trace.horizon + self.config.drain_grace
+
+        def watchdog():
+            while len(self.finished) < len(trace.requests):
+                if self.env.now >= deadline:
+                    return
+                yield self.env.timeout(1.0)
+
+        self.env.run(until=self.env.process(watchdog()))
+        return self.collect(trace)
+
+    def collect(self, trace: Trace) -> "ServingResult":
+        """Assemble the result object from current state."""
+        # Imported here to avoid a core <-> analysis import cycle.
+        from ..analysis.metrics import ServingResult
+
+        engines = [
+            instance.engine
+            for instance in [*self.prefill_instances, *self.decode_instances]
+        ]
+        return ServingResult(
+            requests=list(self.proxy.requests),
+            slo=self.config.slo,
+            horizon=trace.horizon,
+            end_time=self.env.now,
+            scale_records=[
+                record for engine in engines for record in engine.scale_history
+            ],
+            transfer_stats=[engine.kv.stats for engine in engines],
+            gpu_count=self.config.gpus_needed,
+            label="Aegaeon",
+        )
+
+    # -- variants -----------------------------------------------------------
+    @classmethod
+    def paper_testbed(
+        cls,
+        env: Environment,
+        slo: SloSpec = DEFAULT_SLO,
+        engine: EngineConfig = EngineConfig(),
+    ) -> "AegaeonServer":
+        """The §7.2 configuration: 16 H800s, 6 prefill + 10 decode."""
+        cluster = Cluster.testbed(env)
+        config = AegaeonConfig(
+            prefill_instances=6, decode_instances=10, engine=engine, slo=slo
+        )
+        return cls(env, cluster, config)
+
+    @classmethod
+    def a10_testbed(cls, env: Environment, slo: SloSpec = DEFAULT_SLO) -> "AegaeonServer":
+        """The §7.4 low-end setup: 4 A10s, 2 prefill + 2 decode, no prefetch."""
+        cluster = Cluster.a10_node(env)
+        engine = EngineConfig(
+            prefetch=False, weight_buffer_bytes=16 * GiB
+        )
+        config = AegaeonConfig(
+            prefill_instances=2,
+            decode_instances=2,
+            engine=engine,
+            slo=slo,
+            model_cache_bytes=256 * GiB,
+            cpu_kv_cache_bytes=128 * GiB,
+        )
+        return cls(env, cluster, config)
+
+    @classmethod
+    def tp4_testbed(cls, env: Environment, slo: SloSpec = DEFAULT_SLO) -> "AegaeonServer":
+        """The §7.4 large-model setup: 8 H800s, TP=4, 1 prefill + 1 decode."""
+        cluster = Cluster.h800_node(env)
+        engine = EngineConfig(tp=4, weight_buffer_bytes=48 * GiB)
+        config = AegaeonConfig(
+            prefill_instances=1, decode_instances=1, engine=engine, slo=slo
+        )
+        return cls(env, cluster, config)

@@ -1,0 +1,86 @@
+"""Shared serving-system machinery (trace replay, result collection).
+
+Every serving system other than :class:`~repro.core.server.AegaeonServer`
+— the baselines and the unified-scheduling foils — derives from
+:class:`BaselineServer`: it replays the same trace format through the
+same proxy layer and returns the same
+:class:`~repro.analysis.metrics.ServingResult`, so every system is
+measured identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .proxy import ProxyLayer, StatusRegistry
+from .slo import DEFAULT_SLO, SloSpec
+from ..engine.engine import ScaleRecord
+from ..engine.request import Request
+from ..sim import Environment
+from ..workload.trace import Trace
+
+__all__ = ["BaselineServer"]
+
+
+class BaselineServer:
+    """Trace replay, completion tracking, and result collection."""
+
+    label = "baseline"
+
+    def __init__(self, env: Environment, slo: SloSpec = DEFAULT_SLO, drain_grace: float = 300.0):
+        self.env = env
+        self.slo = slo
+        self.drain_grace = drain_grace
+        self.registry = StatusRegistry()
+        self.proxy = ProxyLayer(env, self.dispatch, self.registry)
+        self.finished: list[Request] = []
+        self.gpu_count = 0
+
+    # -- subclass interface -----------------------------------------------------
+    def dispatch(self, request: Request) -> None:
+        """Route one arriving request (subclasses implement)."""
+        raise NotImplementedError
+
+    def prepare(self, trace: Trace) -> None:
+        """Pre-trace setup (placement, cache warming); optional."""
+
+    def scale_records(self) -> list[ScaleRecord]:
+        """Auto-scaling history; optional."""
+        return []
+
+    # -- common plumbing -----------------------------------------------------
+    def note_finished(self, request: Request) -> None:
+        """Record a completed request."""
+        self.registry.update(request)
+        self.finished.append(request)
+
+    def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
+        """Replay ``trace`` to completion or the drain deadline."""
+        self.prepare(trace)
+        self.env.process(self.proxy.replay(trace))
+        deadline = until if until is not None else trace.horizon + self.drain_grace
+
+        def watchdog():
+            while len(self.finished) < len(trace.requests):
+                if self.env.now >= deadline:
+                    return
+                yield self.env.timeout(1.0)
+
+        self.env.run(until=self.env.process(watchdog()))
+        return self.collect(trace)
+
+    def collect(self, trace: Trace) -> "ServingResult":
+        """Assemble the measurement object."""
+        # Imported here to avoid a baselines <-> analysis import cycle.
+        from ..analysis.metrics import ServingResult
+
+        return ServingResult(
+            requests=list(self.proxy.requests),
+            slo=self.slo,
+            horizon=trace.horizon,
+            end_time=self.env.now,
+            scale_records=self.scale_records(),
+            transfer_stats=[],
+            gpu_count=self.gpu_count,
+            label=self.label,
+        )

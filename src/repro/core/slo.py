@@ -1,0 +1,69 @@
+"""SLO definitions and per-token deadline accounting (§2.1, Figure 3).
+
+The paper quantifies service quality as **per-token SLO attainment**: the
+fraction of token generation times that meet their deadlines, where the
+first token's deadline is the target TTFT after arrival and each
+subsequent token's deadline advances by the target TBT.  Output buffering
+is implicit in this definition — a token generated early buys slack for
+later stalls, which is exactly the property Aegaeon's decode scheduler
+(Algorithm 2) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SloSpec", "DEFAULT_SLO", "token_deadlines", "tokens_met"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Target TTFT and TBT, in seconds."""
+
+    ttft: float = 10.0
+    tbt: float = 0.100
+
+    def __post_init__(self) -> None:
+        if self.ttft <= 0 or self.tbt <= 0:
+            raise ValueError("SLO targets must be positive")
+
+    def scale(self, factor: float) -> "SloSpec":
+        """Uniformly stricter/looser SLOs (the paper's 0.5x/0.3x/0.2x)."""
+        return SloSpec(ttft=self.ttft * factor, tbt=self.tbt * factor)
+
+    def scale_ttft(self, factor: float) -> "SloSpec":
+        """Scale only the TTFT target (§7.4, larger-model study)."""
+        return SloSpec(ttft=self.ttft * factor, tbt=self.tbt)
+
+    def scale_tbt(self, factor: float) -> "SloSpec":
+        """Scale only the TBT target (§7.4, low-end-hardware study)."""
+        return SloSpec(ttft=self.ttft, tbt=self.tbt * factor)
+
+    def __str__(self) -> str:
+        return f"TTFT={self.ttft:g}s/TBT={self.tbt * 1e3:g}ms"
+
+
+# The paper's production targets: 10 s TTFT, 100 ms TBT.
+DEFAULT_SLO = SloSpec()
+
+
+def token_deadlines(arrival: float, token_count: int, slo: SloSpec) -> np.ndarray:
+    """Deadline of each output token (token k: arrival + TTFT + (k-1)*TBT)."""
+    if token_count < 0:
+        raise ValueError("token_count must be non-negative")
+    if token_count == 0:
+        return np.empty(0)
+    return arrival + slo.ttft + slo.tbt * np.arange(token_count)
+
+
+def tokens_met(
+    arrival: float, token_times: list[float] | np.ndarray, slo: SloSpec
+) -> tuple[int, int]:
+    """(tokens meeting their deadline, tokens generated)."""
+    times = np.asarray(token_times, dtype=float)
+    if times.size == 0:
+        return (0, 0)
+    deadlines = token_deadlines(arrival, times.size, slo)
+    return (int(np.sum(times <= deadlines)), int(times.size))

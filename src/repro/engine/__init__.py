@@ -1,0 +1,20 @@
+"""vLLM-like inference-engine simulation with preemptive auto-scaling."""
+
+from .batching import BatchingPolicy, ContinuousBatcher
+from .block_manager import BlockManager
+from .engine import AegaeonEngine, EngineConfig, ScaleRecord
+from .init_stages import DEFAULT_INIT_COSTS, InitStageCosts
+from .request import Phase, Request
+
+__all__ = [
+    "AegaeonEngine",
+    "BatchingPolicy",
+    "BlockManager",
+    "ContinuousBatcher",
+    "DEFAULT_INIT_COSTS",
+    "EngineConfig",
+    "InitStageCosts",
+    "Phase",
+    "Request",
+    "ScaleRecord",
+]

@@ -1,0 +1,373 @@
+"""Scaling-efficient inference engine (the paper's §5 engine).
+
+:class:`AegaeonEngine` binds one TP group of GPUs to a reusable engine
+shell.  It owns:
+
+* a self-managed VRAM weight buffer (bump allocation, §5.2);
+* a unified GPU KV cache (slab allocation) behind a
+  :class:`~repro.transfer.kv_transfer.KvTransferManager`;
+* the quick/naive loaders and an optional prefetch stream;
+* the preemptive scale-down/scale-up state machine, recording a
+  per-stage latency breakdown for every switch (Figures 7/8/15).
+
+Optimization flags in :class:`EngineConfig` gate each §5 technique so
+the ablation benchmarks can flip them independently:
+
+* ``reuse_components`` — §5.1: initialize Ray/NCCL, profiling, pinned
+  KV pools, tokenizers once; otherwise every switch pays a fresh
+  initialization.
+* ``explicit_memory`` — §5.2: bump-allocated weights (no GC pass) and
+  the pipelined quick loader; otherwise a GC pass plus the naive
+  2.83 GB/s loader.
+* ``fine_grained_sync`` — §5.3: per-request CUDA events; otherwise each
+  switch drains the KV streams with blocking synchronization.
+* ``prefetch`` — §5.2: load the next model on a separate stream during
+  decoding, making ~half of all scale-ups near-instant (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..hardware.gpu import Gpu
+from ..hardware.node import Node
+from ..memory.bump import BumpAllocation, BumpAllocator
+from ..memory.model_cache import HostModelCache
+from ..memory.slab import SlabAllocator
+from ..models.catalog import ModelSpec
+from ..models.latency import LatencyModel
+from ..sim import Environment
+from ..transfer.kv_transfer import KvTransferManager, MoveList
+from ..transfer.loader import NaiveLoader, QuickLoader
+from ..transfer.streams import CudaEvent, CudaStream
+from .init_stages import DEFAULT_INIT_COSTS, InitStageCosts
+
+__all__ = ["EngineConfig", "ScaleRecord", "AegaeonEngine"]
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Feature flags and sizing for one engine."""
+
+    reuse_components: bool = True
+    explicit_memory: bool = True
+    fine_grained_sync: bool = True
+    prefetch: bool = True
+    tp: int = 1
+    # Sized to hold a running shard plus a prefetched shard for most of
+    # the paper's 6-14B model band, while leaving the KV cache enough
+    # VRAM for full decode batches (the 13B/14B pair does not prefetch).
+    weight_buffer_bytes: int = 44 * GiB
+    slab_bytes: int = 256 * 1024**2
+    block_tokens: int = 16
+    activation_fraction: float = 0.10  # VRAM left to the tensor library
+
+    @classmethod
+    def unoptimized(cls, **overrides) -> "EngineConfig":
+        """The T0 baseline: no §5 optimizations at all."""
+        defaults = dict(
+            reuse_components=False,
+            explicit_memory=False,
+            fine_grained_sync=False,
+            prefetch=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+
+@dataclass
+class ScaleRecord:
+    """Timing of one preemptive scale operation."""
+
+    model_from: Optional[str]
+    model_to: str
+    started: float
+    stages: dict[str, float] = field(default_factory=dict)
+    ended: float = 0.0
+    prefetch_hit: bool = False
+
+    @property
+    def total(self) -> float:
+        return self.ended - self.started
+
+
+class AegaeonEngine:
+    """One reusable engine shell on a TP group of GPUs."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        gpus: list[Gpu],
+        model_cache: HostModelCache,
+        cpu_kv_cache: SlabAllocator,
+        move_list: Optional[MoveList] = None,
+        config: EngineConfig = EngineConfig(),
+        init_costs: InitStageCosts = DEFAULT_INIT_COSTS,
+        name: str = "engine",
+        pre_initialized: bool = False,
+    ):
+        if len(gpus) != config.tp:
+            raise ValueError(
+                f"engine needs {config.tp} GPUs for TP={config.tp}, got {len(gpus)}"
+            )
+        self.env = env
+        self.node = node
+        self.gpus = gpus
+        self.config = config
+        self.init_costs = init_costs
+        self.name = name
+        # Shard traffic moves over each GPU's own link in parallel; the
+        # group's wall time equals the lead GPU's, so the engine models
+        # transfers on that link with per-shard byte counts.
+        self.link = node.link(gpus[0])
+        spec = gpus[0].spec
+        kv_region = int(
+            spec.vram_bytes * (1 - config.activation_fraction)
+            - config.weight_buffer_bytes
+        )
+        if kv_region <= 0:
+            raise MemoryError(
+                f"{name}: weight buffer leaves no VRAM for the KV cache"
+            )
+        self.weights = BumpAllocator(capacity=config.weight_buffer_bytes)
+        self.gpu_kv_cache = SlabAllocator(kv_region, config.slab_bytes)
+        self.kv = KvTransferManager(
+            env,
+            self.link,
+            self.gpu_kv_cache,
+            cpu_kv_cache,
+            move_list=move_list,
+            fine_grained=config.fine_grained_sync,
+            name=name,
+        )
+        self.quick_loader = QuickLoader(env, self.link, model_cache)
+        self.naive_loader = NaiveLoader(env, self.link)
+        self.prefetch_stream = CudaStream(env, name=f"{name}.prefetch")
+        self.current_model: Optional[ModelSpec] = None
+        self._current_weights: Optional[BumpAllocation] = None
+        self._prefetched: Optional[tuple[ModelSpec, BumpAllocation, CudaEvent]] = None
+        self._latency_cache: dict[str, LatencyModel] = {}
+        # A deployed instance boots its engine shell (Ray/NCCL, pinned
+        # pools, tokenizers) before taking traffic; only engines without
+        # component reuse re-pay that cost on every switch.
+        self._fresh_boot_done = pre_initialized and config.reuse_components
+        self.scale_history: list[ScaleRecord] = []
+        self.busy_time = 0.0
+
+    # -- latency models -----------------------------------------------------
+    def latency_model(self, spec: ModelSpec) -> LatencyModel:
+        """Cached latency model for ``spec`` on this engine's hardware."""
+        model = self._latency_cache.get(spec.name)
+        if model is None:
+            model = LatencyModel(spec, self.gpus[0].spec, tp=self.config.tp)
+            self._latency_cache[spec.name] = model
+        return model
+
+    def shard_bytes(self, spec: ModelSpec) -> int:
+        """Per-GPU weight bytes for ``spec`` on this engine."""
+        return spec.weight_bytes // self.config.tp
+
+    def base_switch_time(self, spec: ModelSpec) -> float:
+        """Eq. 4 estimate of a switch, ignoring any in-flight prefetch.
+
+        This is the ``c`` the decode scheduler amortizes over a round:
+        quotas must be sized as if every switch pays the full load, or
+        turns collapse below the time a prefetch needs to complete.
+        """
+        if self.config.explicit_memory:
+            return self.quick_loader.load_time(self.shard_bytes(spec))
+        return self.naive_loader.load_time(self.shard_bytes(spec))
+
+    def estimate_switch_time(self, spec: ModelSpec) -> float:
+        """Best-case estimate of switching to ``spec`` right now."""
+        if self.current_model is not None and self.current_model.name == spec.name:
+            return 0.0
+        if self._prefetch_ready(spec):
+            return 0.05
+        return self.base_switch_time(spec)
+
+    # -- prefetch ------------------------------------------------------------
+    def prefetch(self, spec: ModelSpec) -> bool:
+        """Begin loading ``spec`` behind the running model.
+
+        Returns True if the prefetch was started (or is already in
+        flight).  Requires the prefetch flag, spare weight-buffer space,
+        and a host-cached checkpoint (remote fetches are not worth
+        racing against a decode turn).
+        """
+        if not (self.config.prefetch and self.config.explicit_memory):
+            return False
+        if self.current_model is not None and spec.name == self.current_model.name:
+            return False
+        if self._prefetched is not None:
+            return self._prefetched[0].name == spec.name
+        nbytes = self.shard_bytes(spec)
+        if self.weights.free < nbytes:
+            return False
+        if not self.quick_loader.model_cache.contains(spec.name):
+            return False
+        allocation = self.weights.alloc(nbytes, tag=f"prefetch:{spec.name}")
+
+        def start() -> Generator:
+            done = yield from self.quick_loader.load(
+                spec.name, nbytes, stream=self.prefetch_stream
+            )
+            return done
+
+        # load() with a stream enqueues synchronously and returns the
+        # CudaEvent immediately; drive the generator to completion now.
+        process = self.env.process(start())
+        self._prefetched = (spec, allocation, process)
+        return True
+
+    def _prefetch_ready(self, spec: ModelSpec) -> bool:
+        if self._prefetched is None or self._prefetched[0].name != spec.name:
+            return False
+        process = self._prefetched[2]
+        if not process.triggered:
+            return False
+        event: CudaEvent = process.value
+        return event.query()
+
+    def _drop_prefetch(self) -> None:
+        if self._prefetched is not None:
+            _, allocation, _ = self._prefetched
+            if not allocation.freed:
+                self.weights.retire(allocation)
+            self._prefetched = None
+
+    # -- scaling state machine -------------------------------------------------
+    def scale_to(self, spec: ModelSpec) -> Generator:
+        """Process: make ``spec`` the active model (Figures 8/10).
+
+        Returns the :class:`ScaleRecord` with the per-stage breakdown.
+        """
+        record = ScaleRecord(
+            model_from=self.current_model.name if self.current_model else None,
+            model_to=spec.name,
+            started=self.env.now,
+        )
+        if self.current_model is not None and self.current_model.name == spec.name:
+            record.ended = self.env.now
+            return record
+
+        # Stage 1 — KV-out synchronization.  With fine-grained sync the
+        # offloads proceed on their own stream and nothing blocks here.
+        if not self.config.fine_grained_sync:
+            start = self.env.now
+            yield from self.kv.drain()
+            record.stages["kv_out_sync"] = self.env.now - start
+
+        # Stage 2 — VRAM reclamation.
+        had_model = self.current_model is not None
+        if had_model:
+            if self.config.explicit_memory:
+                if self._current_weights is not None:
+                    self.weights.retire(self._current_weights)
+                    self._current_weights = None
+            else:
+                start = self.env.now
+                yield self.env.timeout(self.init_costs.gc_pass)
+                record.stages["gc"] = self.env.now - start
+                self.weights.reset(0)
+                self._current_weights = None
+
+        # Stage 3 — engine (re)initialization.
+        start = self.env.now
+        if self.config.reuse_components and self._fresh_boot_done:
+            yield self.env.timeout(self.init_costs.reconfigure)
+            record.stages["reinit"] = self.env.now - start
+        else:
+            for stage, cost in [
+                ("dist_executor_init", self.init_costs.dist_executor(self.config.tp)),
+                ("profiling", self.init_costs.profiling),
+                ("kv_init", self.init_costs.kv_pin_init),
+                ("misc", self.init_costs.misc),
+            ]:
+                yield self.env.timeout(cost)
+                record.stages[stage] = cost
+            self._fresh_boot_done = True
+
+        # Stage 4 — model weights.
+        start = self.env.now
+        nbytes = self.shard_bytes(spec)
+        if (
+            self._prefetched is not None
+            and self._prefetched[0].name == spec.name
+            and not self._prefetch_ready(spec)
+        ):
+            # The right model is mid-prefetch: finishing the in-flight
+            # copy is cheaper than starting over.
+            process = self._prefetched[2]
+            if not process.triggered:
+                yield process
+            yield process.value.wait()
+            record.stages["prefetch_wait"] = self.env.now - start
+        if self._prefetch_ready(spec):
+            # Promote the prefetched weights with a cheap on-device copy
+            # (Figure 9, step 3.b).
+            _, allocation, _ = self._prefetched
+            self._prefetched = None
+            on_device_copy = nbytes / self.gpus[0].spec.effective_hbm_bandwidth
+            yield self.env.timeout(on_device_copy)
+            self.weights.compact_to_front(allocation)
+            self._current_weights = allocation
+            record.prefetch_hit = True
+            record.stages["model_promote"] = self.env.now - start
+        else:
+            # An in-flight prefetch of another model is abandoned.
+            self._drop_prefetch()
+            # With every extent retired, bump the pointer home so the
+            # buffer does not creep upward across switches.
+            if not self.weights.live_allocations:
+                self.weights.reset(0)
+            if self.config.explicit_memory:
+                allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
+                yield from self.quick_loader.load(spec.name, nbytes)
+                self._current_weights = allocation
+            else:
+                self.weights.reset(0)
+                allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
+                yield from self.naive_loader.load(spec.name, nbytes)
+                self._current_weights = allocation
+            record.stages["model_load"] = self.env.now - start
+
+        self.current_model = spec
+        record.ended = self.env.now
+        self.scale_history.append(record)
+        return record
+
+    # -- execution ----------------------------------------------------------
+    def prefill(self, spec: ModelSpec, input_lengths: list[int]) -> Generator:
+        """Process: run one prefill batch; returns its duration."""
+        self._require_active(spec)
+        duration = self.latency_model(spec).prefill_time(input_lengths)
+        yield self.env.timeout(duration)
+        self.busy_time += duration
+        return duration
+
+    def decode_step_time(self, spec: ModelSpec, batch: int, context: int) -> float:
+        """Predicted duration of one decode step (Eq. 6)."""
+        return self.latency_model(spec).decode_step_time(batch, context)
+
+    def decode_for(self, spec: ModelSpec, duration: float) -> Generator:
+        """Process: occupy the default stream decoding for ``duration``."""
+        self._require_active(spec)
+        yield self.env.timeout(duration)
+        self.busy_time += duration
+
+    def _require_active(self, spec: ModelSpec) -> None:
+        if self.current_model is None or self.current_model.name != spec.name:
+            raise RuntimeError(
+                f"{self.name}: {spec.name} is not the active model "
+                f"(active: {self.current_model.name if self.current_model else None})"
+            )
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the default stream ran token generation."""
+        elapsed = self.env.now if elapsed is None else elapsed
+        return 0.0 if elapsed <= 0 else min(1.0, self.busy_time / elapsed)

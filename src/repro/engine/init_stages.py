@@ -1,0 +1,75 @@
+"""Engine (re)initialization cost model (§5.1, Figure 7).
+
+The paper breaks a fresh vLLM-style engine initialization into stages and
+reports that the total reaches **26.9 s for a 13B model (TP=2)**:
+
+* distributed executor (Ray + NCCL) — tens of seconds at high TP;
+* profiling & optimization (KV sizing) — several seconds;
+* model weight loading — 4.6 s for the 13B shard at 2.83 GB/s;
+* KV-cache initialization (pinning CPU pages) — several seconds;
+* other components (scheduler, tokenizer, logging).
+
+With Aegaeon's component reuse (§5.1) every stage except weight/KV
+handling is initialized once per instance and cached; a model switch
+pays only a small reconfiguration cost plus the actual data movement.
+The default constants below reproduce the 26.9 s headline exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.catalog import ModelSpec
+from ..models.latency import NAIVE_LOAD_BANDWIDTH
+
+__all__ = ["InitStageCosts", "DEFAULT_INIT_COSTS"]
+
+
+@dataclass(frozen=True)
+class InitStageCosts:
+    """Per-stage initialization latencies (seconds)."""
+
+    dist_executor_base: float = 8.0
+    dist_executor_per_tp: float = 2.0
+    profiling: float = 3.5
+    kv_pin_init: float = 4.2
+    misc: float = 2.6
+    # PyTorch allocator cleanup between back-to-back models (§5.2):
+    # gc.collect() + torch.cuda.empty_cache().
+    gc_pass: float = 2.5
+    # Residual per-switch cost with full component reuse: swapping
+    # tokenizer handles, refreshing engine config, scheduler state.
+    reconfigure: float = 0.15
+
+    def dist_executor(self, tp: int) -> float:
+        """Ray/NCCL bring-up time for a TP group."""
+        return self.dist_executor_base + self.dist_executor_per_tp * tp
+
+    def naive_load(self, model: ModelSpec, tp: int) -> float:
+        """Weight-loading time on the unoptimized engine path."""
+        return model.weight_bytes / tp / NAIVE_LOAD_BANDWIDTH
+
+    def fresh_stages(self, model: ModelSpec, tp: int) -> dict[str, float]:
+        """Stage breakdown of a cold engine initialization (Figure 7)."""
+        return {
+            "dist_executor_init": self.dist_executor(tp),
+            "profiling": self.profiling,
+            "model_load": self.naive_load(model, tp),
+            "kv_init": self.kv_pin_init,
+            "misc": self.misc,
+        }
+
+    def fresh_total(self, model: ModelSpec, tp: int) -> float:
+        """Total cold-initialization latency."""
+        return sum(self.fresh_stages(model, tp).values())
+
+    def reused_stages(self) -> dict[str, float]:
+        """Per-switch engine costs once components are reused.
+
+        Model loading and KV handling are charged separately by the
+        caller (they depend on the loader and the KV traffic).
+        """
+        return {"reconfigure": self.reconfigure}
+
+
+DEFAULT_INIT_COSTS = InitStageCosts()

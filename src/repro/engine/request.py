@@ -1,0 +1,112 @@
+"""Runtime request lifecycle.
+
+A :class:`Request` wraps a :class:`~repro.workload.trace.TraceRequest`
+with everything the serving systems mutate: phase state, per-token
+completion timestamps (the raw data behind per-token SLO attainment,
+Figure 3), and the request's KV-cache handle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..models.catalog import ModelSpec
+from ..transfer.kv_transfer import RequestKv
+from ..workload.trace import TraceRequest
+
+__all__ = ["Phase", "Request"]
+
+
+class Phase(enum.Enum):
+    """Where a request is in its lifecycle."""
+
+    QUEUED = "queued"  # waiting for prefill
+    PREFILLING = "prefilling"
+    DECODING = "decoding"  # includes waiting in a work list
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One in-flight request."""
+
+    trace: TraceRequest
+    spec: ModelSpec
+    phase: Phase = Phase.QUEUED
+    token_times: list[float] = field(default_factory=list)
+    kv: Optional[RequestKv] = None
+    prefill_start: Optional[float] = None
+    prefill_end: Optional[float] = None
+    decode_enqueue: Optional[float] = None
+    finish_time: Optional[float] = None
+    # Time this request's batch actually spent decoding while the
+    # request was in it (feeds the Figure 14 latency breakdown).
+    decode_exec_time: float = 0.0
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def request_id(self) -> int:
+        return self.trace.request_id
+
+    @property
+    def model(self) -> str:
+        return self.trace.model
+
+    @property
+    def arrival(self) -> float:
+        return self.trace.arrival
+
+    @property
+    def input_tokens(self) -> int:
+        return self.trace.input_tokens
+
+    @property
+    def output_tokens(self) -> int:
+        return self.trace.output_tokens
+
+    # -- progress ----------------------------------------------------------
+    @property
+    def generated_tokens(self) -> int:
+        """Output tokens produced so far (prefill's token included)."""
+        return len(self.token_times)
+
+    @property
+    def remaining_tokens(self) -> int:
+        return self.output_tokens - self.generated_tokens
+
+    @property
+    def finished(self) -> bool:
+        return self.generated_tokens >= self.output_tokens
+
+    @property
+    def context_tokens(self) -> int:
+        """Current sequence length (prompt + generated)."""
+        return self.input_tokens + self.generated_tokens
+
+    @property
+    def first_token_time(self) -> Optional[float]:
+        return self.token_times[0] if self.token_times else None
+
+    # -- mutation ----------------------------------------------------------
+    def record_tokens(self, times: list[float]) -> None:
+        """Append completion timestamps for newly generated tokens."""
+        if self.generated_tokens + len(times) > self.output_tokens:
+            raise ValueError(
+                f"request {self.request_id}: generated past output length"
+            )
+        self.token_times.extend(times)
+
+    def complete(self, now: float) -> None:
+        """Mark the request finished."""
+        if not self.finished:
+            raise ValueError(f"request {self.request_id} has tokens remaining")
+        self.phase = Phase.FINISHED
+        self.finish_time = now
+
+    def __repr__(self) -> str:
+        return (
+            f"<Request {self.request_id} {self.model} {self.phase.value} "
+            f"{self.generated_tokens}/{self.output_tokens}>"
+        )

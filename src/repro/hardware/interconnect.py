@@ -1,0 +1,94 @@
+"""Interconnect models: PCIe host links and NVLink peer links.
+
+Each :class:`Link` is a unidirectional DMA channel.  Transfers on one
+channel serialize (matching how a staged ``cudaMemcpyAsync`` pipeline
+behaves on a single copy engine); the two directions of a PCIe link are
+independent channels, so swap-in and swap-out genuinely overlap — the
+property Aegaeon's fine-grained KV synchronization (§5.3) exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Environment, Resource
+
+__all__ = ["Link", "DuplexLink", "pcie_pair", "nvlink"]
+
+
+class Link:
+    """A unidirectional transfer channel with fixed bandwidth.
+
+    Transfers are FIFO: a transfer holds the channel for
+    ``nbytes / bandwidth`` (plus fixed per-transfer latency).  Chunked
+    pipelines issue many small transfers; their serialization on the
+    channel reproduces copy-engine behaviour.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        name: str = "link",
+        latency: float = 5e-6,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self.latency = latency
+        self._channel = Resource(env, capacity=1)
+        self.bytes_moved = 0
+        self.busy_time = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Duration of a single transfer, excluding queueing."""
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Process: move ``nbytes`` across the link (queues if busy)."""
+        if nbytes < 0:
+            raise ValueError("cannot transfer a negative byte count")
+        with self._channel.request() as claim:
+            yield claim
+            duration = self.transfer_time(nbytes)
+            yield self.env.timeout(duration)
+            self.bytes_moved += nbytes
+            self.busy_time += duration
+
+    @property
+    def queue_depth(self) -> int:
+        """Transfers currently waiting for the channel."""
+        return len(self._channel.queue)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of wall time the channel was busy."""
+        elapsed = self.env.now if elapsed is None else elapsed
+        return 0.0 if elapsed <= 0 else min(1.0, self.busy_time / elapsed)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.bandwidth / 1e9:.1f} GB/s>"
+
+
+class DuplexLink:
+    """A pair of independent channels: host-to-device and device-to-host."""
+
+    def __init__(self, env: Environment, bandwidth: float, name: str = "pcie"):
+        self.h2d = Link(env, bandwidth, name=f"{name}.h2d")
+        self.d2h = Link(env, bandwidth, name=f"{name}.d2h")
+
+    @property
+    def bandwidth(self) -> float:
+        """Per-direction bandwidth in bytes/s."""
+        return self.h2d.bandwidth
+
+
+def pcie_pair(env: Environment, bandwidth: float, name: str = "pcie") -> DuplexLink:
+    """Build the host link for one GPU (both directions)."""
+    return DuplexLink(env, bandwidth, name=name)
+
+
+def nvlink(env: Environment, bandwidth: float = 400e9, name: str = "nvlink") -> Link:
+    """Build a peer-to-peer NVLink channel (used for TP collectives)."""
+    return Link(env, bandwidth, name=name, latency=2e-6)

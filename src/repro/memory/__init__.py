@@ -1,0 +1,16 @@
+"""Explicit memory management (§5.2): bump buffer, slab cache, model cache."""
+
+from .bump import BumpAllocation, BumpAllocator
+from .model_cache import CacheEntry, HostModelCache
+from .slab import KvBlock, ShapeStats, Slab, SlabAllocator
+
+__all__ = [
+    "BumpAllocation",
+    "BumpAllocator",
+    "CacheEntry",
+    "HostModelCache",
+    "KvBlock",
+    "ShapeStats",
+    "Slab",
+    "SlabAllocator",
+]

@@ -1,0 +1,113 @@
+"""Host-memory model cache (§5.2, Figure 9).
+
+Each node keeps a shared DRAM region — the *Model Cache* — holding raw
+tensor chunks of recently used checkpoints, so scale-ups load weights
+from host memory instead of the remote registry.  Entries are managed
+with LRU eviction; models being actively loaded are pinned so they
+cannot be evicted mid-copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheEntry", "HostModelCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached checkpoint."""
+
+    model: str
+    nbytes: int
+    pins: int = 0
+
+
+class HostModelCache:
+    """LRU cache of model checkpoints in host DRAM."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def contains(self, model: str) -> bool:
+        """True if the checkpoint is resident (does not touch LRU order)."""
+        return model in self._entries
+
+    def lookup(self, model: str) -> bool:
+        """Probe for ``model``, recording a hit or miss and touching LRU."""
+        if model in self._entries:
+            self._entries.move_to_end(model)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, model: str, nbytes: int) -> list[str]:
+        """Insert a checkpoint, evicting LRU entries as needed.
+
+        Returns the names of evicted models.  Raises ``MemoryError`` if
+        the checkpoint cannot fit even after evicting every unpinned
+        entry.
+        """
+        if nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"checkpoint {model!r} ({nbytes} bytes) exceeds cache "
+                f"capacity ({self.capacity_bytes})"
+            )
+        if model in self._entries:
+            self._entries.move_to_end(model)
+            return []
+        evicted: list[str] = []
+        while self.free_bytes < nbytes:
+            victim = self._find_victim()
+            if victim is None:
+                raise MemoryError(
+                    f"cannot fit {model!r}: {nbytes} bytes needed, "
+                    f"{self.free_bytes} free and all entries pinned"
+                )
+            evicted.append(victim)
+            del self._entries[victim]
+            self.evictions += 1
+        self._entries[model] = CacheEntry(model=model, nbytes=nbytes)
+        return evicted
+
+    def pin(self, model: str) -> None:
+        """Protect an entry from eviction (e.g. during a staged copy)."""
+        self._entries[model].pins += 1
+
+    def unpin(self, model: str) -> None:
+        """Release one pin."""
+        entry = self._entries[model]
+        if entry.pins <= 0:
+            raise ValueError(f"{model!r} is not pinned")
+        entry.pins -= 1
+
+    def _find_victim(self) -> str | None:
+        for model, entry in self._entries.items():  # LRU first
+            if entry.pins == 0:
+                return model
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<HostModelCache {len(self)} models, "
+            f"{self.used_bytes}/{self.capacity_bytes} bytes>"
+        )

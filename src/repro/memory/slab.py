@@ -1,0 +1,249 @@
+"""Slab-allocated unified KV cache (§5.2, Figure 9 bottom).
+
+KV-cache block sizes vary 20x across models (Table 1), so a unified
+cache serving many models cannot pre-carve fixed per-shape pools without
+fragmenting.  Aegaeon divides each cache region (VRAM or DRAM) into
+fixed-size *slabs*; a slab is dynamically assigned to one KV shape and
+serves fixed-size blocks of that shape until every block is freed, at
+which point the slab returns to the shared free pool.
+
+This module is a real allocator: every block handed out is a distinct
+:class:`KvBlock` with a stable address, double-free and cross-shape
+accounting is enforced, and the fragmentation statistics behind the
+paper's Figure 16 are measured from live state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["KvBlock", "Slab", "SlabAllocator", "ShapeStats"]
+
+
+@dataclass(frozen=True)
+class KvBlock:
+    """One KV-cache block (a fixed number of tokens of one shape)."""
+
+    slab_index: int
+    block_index: int
+    shape: Hashable
+    nbytes: int
+
+    @property
+    def address(self) -> tuple[int, int]:
+        """Stable identity within the allocator."""
+        return (self.slab_index, self.block_index)
+
+
+@dataclass
+class Slab:
+    """A fixed-size chunk of the cache region, bound to one shape at a time."""
+
+    index: int
+    nbytes: int
+    shape: Optional[Hashable] = None
+    block_bytes: int = 0
+    free_blocks: list[int] = field(default_factory=list)
+    used_blocks: set[int] = field(default_factory=set)
+
+    @property
+    def blocks_per_slab(self) -> int:
+        return self.nbytes // self.block_bytes if self.block_bytes else 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.used_blocks
+
+    @property
+    def is_full(self) -> bool:
+        return self.shape is not None and not self.free_blocks
+
+    def assign(self, shape: Hashable, block_bytes: int) -> None:
+        """Bind this (previously free) slab to a shape."""
+        if self.shape is not None:
+            raise ValueError(f"slab {self.index} already assigned")
+        if block_bytes <= 0 or block_bytes > self.nbytes:
+            raise ValueError(
+                f"block_bytes {block_bytes} does not fit slab of {self.nbytes}"
+            )
+        self.shape = shape
+        self.block_bytes = block_bytes
+        self.free_blocks = list(range(self.nbytes // block_bytes))
+        self.used_blocks = set()
+
+    def unassign(self) -> None:
+        """Return the slab to the shared pool (must be empty)."""
+        if not self.is_empty:
+            raise ValueError(f"slab {self.index} still has used blocks")
+        self.shape = None
+        self.block_bytes = 0
+        self.free_blocks = []
+        self.used_blocks = set()
+
+
+@dataclass(frozen=True)
+class ShapeStats:
+    """Per-shape occupancy, the quantity plotted in Figure 16."""
+
+    shape: Hashable
+    block_bytes: int
+    used_blocks: int
+    slab_count: int
+    slab_bytes: int
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_blocks * self.block_bytes
+
+    @property
+    def held_bytes(self) -> int:
+        return self.slab_count * self.slab_bytes
+
+    @property
+    def fragmentation(self) -> float:
+        """Unused fraction of the memory held for this shape."""
+        if self.held_bytes == 0:
+            return 0.0
+        return 1.0 - self.used_bytes / self.held_bytes
+
+
+class SlabAllocator:
+    """Unified KV cache over a region divided into fixed-size slabs."""
+
+    def __init__(self, region_bytes: int, slab_bytes: int):
+        if slab_bytes <= 0 or region_bytes < slab_bytes:
+            raise ValueError("region must hold at least one slab")
+        self.slab_bytes = slab_bytes
+        self.slab_count = region_bytes // slab_bytes
+        self.region_bytes = self.slab_count * slab_bytes
+        self._slabs = [Slab(index=i, nbytes=slab_bytes) for i in range(self.slab_count)]
+        self._free_slabs: list[int] = list(range(self.slab_count))
+        # shape -> indices of slabs currently assigned to it
+        self._shape_slabs: dict[Hashable, list[int]] = {}
+        self._block_bytes: dict[Hashable, int] = {}
+        self.peak_held_bytes = 0
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, shape: Hashable, block_bytes: int, count: int = 1) -> list[KvBlock]:
+        """Allocate ``count`` blocks of ``shape``; all-or-nothing.
+
+        Raises ``MemoryError`` when the region cannot satisfy the
+        request even after acquiring new slabs.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        known = self._block_bytes.setdefault(shape, block_bytes)
+        if known != block_bytes:
+            raise ValueError(
+                f"shape {shape!r} registered with block_bytes={known}, "
+                f"got {block_bytes}"
+            )
+        if self.capacity_for(shape, block_bytes) < count:
+            raise MemoryError(
+                f"unified cache cannot hold {count} blocks of {shape!r}"
+            )
+        blocks: list[KvBlock] = []
+        for slab_index in self._shape_slabs.get(shape, []):
+            slab = self._slabs[slab_index]
+            while slab.free_blocks and len(blocks) < count:
+                blocks.append(self._take(slab))
+        while len(blocks) < count:
+            slab = self._acquire_slab(shape, block_bytes)
+            while slab.free_blocks and len(blocks) < count:
+                blocks.append(self._take(slab))
+        return blocks
+
+    def free(self, blocks: list[KvBlock]) -> None:
+        """Release blocks; empty slabs return to the shared pool."""
+        for block in blocks:
+            slab = self._slabs[block.slab_index]
+            if slab.shape != block.shape:
+                raise ValueError(
+                    f"block {block.address} shape {block.shape!r} does not "
+                    f"match slab shape {slab.shape!r} (double free?)"
+                )
+            if block.block_index not in slab.used_blocks:
+                raise ValueError(f"double free of block {block.address}")
+            slab.used_blocks.remove(block.block_index)
+            slab.free_blocks.append(block.block_index)
+            if slab.is_empty:
+                self._release_slab(slab)
+
+    # -- capacity ------------------------------------------------------------
+    def capacity_for(self, shape: Hashable, block_bytes: int) -> int:
+        """Blocks of ``shape`` allocatable right now (free + reclaimable)."""
+        free_in_shape = sum(
+            len(self._slabs[i].free_blocks)
+            for i in self._shape_slabs.get(shape, [])
+        )
+        per_slab = self.slab_bytes // block_bytes
+        return free_in_shape + len(self._free_slabs) * per_slab
+
+    @property
+    def free_slab_count(self) -> int:
+        return len(self._free_slabs)
+
+    # -- statistics (Figure 16) ------------------------------------------------
+    def shape_stats(self) -> list[ShapeStats]:
+        """Occupancy per shape, for shapes currently holding slabs."""
+        stats = []
+        for shape, slab_indices in sorted(
+            self._shape_slabs.items(), key=lambda kv: str(kv[0])
+        ):
+            if not slab_indices:
+                continue
+            used = sum(len(self._slabs[i].used_blocks) for i in slab_indices)
+            stats.append(
+                ShapeStats(
+                    shape=shape,
+                    block_bytes=self._block_bytes[shape],
+                    used_blocks=used,
+                    slab_count=len(slab_indices),
+                    slab_bytes=self.slab_bytes,
+                )
+            )
+        return stats
+
+    def overall_fragmentation(self) -> float:
+        """Unused fraction of all held (assigned) slab memory."""
+        held = used = 0
+        for stats in self.shape_stats():
+            held += stats.held_bytes
+            used += stats.used_bytes
+        return 0.0 if held == 0 else 1.0 - used / held
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes in slabs currently assigned to some shape."""
+        return sum(
+            len(indices) * self.slab_bytes
+            for indices in self._shape_slabs.values()
+        )
+
+    # -- internal ----------------------------------------------------------
+    def _take(self, slab: Slab) -> KvBlock:
+        block_index = slab.free_blocks.pop()
+        slab.used_blocks.add(block_index)
+        return KvBlock(
+            slab_index=slab.index,
+            block_index=block_index,
+            shape=slab.shape,
+            nbytes=slab.block_bytes,
+        )
+
+    def _acquire_slab(self, shape: Hashable, block_bytes: int) -> Slab:
+        if not self._free_slabs:
+            raise MemoryError("no free slabs")
+        slab = self._slabs[self._free_slabs.pop()]
+        slab.assign(shape, block_bytes)
+        self._shape_slabs.setdefault(shape, []).append(slab.index)
+        self.peak_held_bytes = max(self.peak_held_bytes, self.held_bytes)
+        return slab
+
+    def _release_slab(self, slab: Slab) -> None:
+        self._shape_slabs[slab.shape].remove(slab.index)
+        if not self._shape_slabs[slab.shape]:
+            del self._shape_slabs[slab.shape]
+        slab.unassign()
+        self._free_slabs.append(slab.index)

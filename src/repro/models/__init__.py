@@ -1,0 +1,33 @@
+"""LLM architecture catalog, KV-cache geometry, and latency models."""
+
+from .catalog import MODEL_CATALOG, ModelSpec, get_model, market_mix, models_in_range
+from .kv import (
+    DEFAULT_BLOCK_TOKENS,
+    KvShape,
+    kv_block_bytes,
+    kv_bytes_per_token,
+    kv_shape,
+)
+from .latency import (
+    NAIVE_LOAD_BANDWIDTH,
+    PCIE_BETA,
+    LatencyModel,
+    switch_time,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_TOKENS",
+    "KvShape",
+    "LatencyModel",
+    "MODEL_CATALOG",
+    "ModelSpec",
+    "NAIVE_LOAD_BANDWIDTH",
+    "PCIE_BETA",
+    "get_model",
+    "kv_block_bytes",
+    "kv_bytes_per_token",
+    "kv_shape",
+    "market_mix",
+    "models_in_range",
+    "switch_time",
+]

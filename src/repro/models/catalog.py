@@ -1,0 +1,157 @@
+"""LLM architecture catalog.
+
+A :class:`ModelSpec` records the handful of architectural hyperparameters
+that drive everything the serving system cares about: weight bytes (switch
+latency, VRAM footprint), KV-cache shape (slab allocation, Table 1), and
+the FLOP/byte counts entering the analytical latency model.
+
+Presets cover the model families named in the paper (Qwen, Llama,
+InternLM, Yi) in the 1.8B-72B range used across §7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ModelSpec",
+    "MODEL_CATALOG",
+    "get_model",
+    "models_in_range",
+    "market_mix",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architecture of one LLM."""
+
+    name: str
+    family: str
+    params: int  # total parameter count
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    head_dim: int
+    ffn_intermediate: int
+    dtype_bytes: int = 2  # FP16/BF16
+
+    def __post_init__(self) -> None:
+        if self.params <= 0 or self.n_layers <= 0:
+            raise ValueError(f"invalid model spec: {self.name}")
+        if self.n_heads % self.n_kv_heads != 0:
+            raise ValueError(
+                f"{self.name}: n_heads ({self.n_heads}) must be a multiple "
+                f"of n_kv_heads ({self.n_kv_heads})"
+            )
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of model weights at the spec's precision."""
+        return self.params * self.dtype_bytes
+
+    @property
+    def params_b(self) -> float:
+        """Parameter count in billions (for display)."""
+        return self.params / 1e9
+
+    def shard(self, tp: int) -> "ModelSpec":
+        """Per-GPU shard of this model under tensor parallelism.
+
+        Attention heads and the FFN are split ``tp`` ways; when the KV
+        heads cannot be split further (GQA), they are replicated, which
+        matches vLLM's behaviour.
+        """
+        if tp <= 0 or self.n_heads % tp != 0:
+            raise ValueError(f"invalid TP degree {tp} for {self.name}")
+        return replace(
+            self,
+            name=f"{self.name}/tp{tp}",
+            params=self.params // tp,
+            n_heads=self.n_heads // tp,
+            n_kv_heads=max(1, self.n_kv_heads // tp),
+            ffn_intermediate=self.ffn_intermediate // tp,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.params_b:.1f}B)"
+
+
+def _spec(
+    name: str,
+    family: str,
+    params_b: float,
+    layers: int,
+    hidden: int,
+    heads: int,
+    kv_heads: int,
+    ffn: int,
+    head_dim: int = 128,
+) -> ModelSpec:
+    return ModelSpec(
+        name=name,
+        family=family,
+        params=int(params_b * 1e9),
+        n_layers=layers,
+        hidden_size=hidden,
+        n_heads=heads,
+        n_kv_heads=kv_heads,
+        head_dim=head_dim,
+        ffn_intermediate=ffn,
+    )
+
+
+# Architectures follow the published model cards.  The four rows of the
+# paper's Table 1 are Qwen-7B, InternLM2.5-7B, LLaMA-13B and Qwen-72B.
+MODEL_CATALOG: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("Qwen-1.8B", "Qwen", 1.84, 24, 2048, 16, 16, 5504),
+        _spec("Yi-6B", "Yi", 6.06, 32, 4096, 32, 4, 11008),
+        _spec("Qwen-7B", "Qwen", 7.72, 32, 4096, 32, 32, 11008),
+        _spec("InternLM2.5-7B", "InternLM", 7.74, 32, 4096, 32, 8, 14336),
+        _spec("Llama-7B", "Llama", 6.74, 32, 4096, 32, 32, 11008),
+        _spec("Yi-9B", "Yi", 8.83, 48, 4096, 32, 4, 11008),
+        _spec("Llama-13B", "Llama", 13.02, 40, 5120, 40, 40, 13824),
+        _spec("Qwen-14B", "Qwen", 14.17, 40, 5120, 40, 40, 13696),
+        _spec("Qwen-32B", "Qwen", 32.51, 64, 5120, 40, 8, 27392),
+        _spec("Qwen-72B", "Qwen", 72.71, 80, 8192, 64, 64, 24576),
+    ]
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a preset by name."""
+    try:
+        return MODEL_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_CATALOG))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def models_in_range(min_b: float, max_b: float) -> list[ModelSpec]:
+    """All presets whose parameter count falls in [min_b, max_b] billions."""
+    return [
+        spec
+        for spec in MODEL_CATALOG.values()
+        if min_b <= spec.params_b <= max_b
+    ]
+
+
+def market_mix(count: int, min_b: float = 6.0, max_b: float = 14.5) -> list[ModelSpec]:
+    """Build a ``count``-model serving mix by cycling the preset pool.
+
+    The paper's main evaluation serves 6B-14B models; each logical model
+    on the market gets a distinct identity (``name#k``) even when it
+    shares an architecture with another, because the serving system must
+    treat them as separate deployables (separate weights, separate KV).
+    """
+    pool = models_in_range(min_b, max_b)
+    if not pool:
+        raise ValueError(f"no presets in range [{min_b}, {max_b}]B")
+    mix = []
+    for i in range(count):
+        base = pool[i % len(pool)]
+        mix.append(replace(base, name=f"{base.name}#{i}"))
+    return mix

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate on which every simulated hardware and software
+component of the Aegaeon reproduction runs.  See :mod:`repro.sim.core` for
+the event loop and :mod:`repro.sim.resources` for queued resources.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, PriorityResource, Resource, Store
+from .resources import Request as ResourceRequest
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "ResourceRequest",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

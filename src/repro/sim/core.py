@@ -1,0 +1,420 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, deterministic, generator-based
+discrete-event simulator in the style of SimPy.  Every stateful component
+of the reproduction (GPUs, PCIe links, CUDA streams, inference engines,
+schedulers) runs as a :class:`Process` inside an :class:`Environment`.
+
+Design notes
+------------
+* Simulated time is a float, in **seconds**.
+* Events scheduled for the same time fire in scheduling order (a strictly
+  increasing sequence number breaks ties), so simulations are fully
+  deterministic given a seeded workload.
+* Processes are plain Python generators that ``yield`` events.  When the
+  event fires, the process resumes with the event's value; if the event
+  failed, the exception is thrown into the generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event lifecycle states.
+_PENDING = 0  # created, not yet triggered
+_TRIGGERED = 1  # value set, scheduled to fire
+_PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Events move through three states: *pending* (just created),
+    *triggered* (a value or exception has been set and the event is
+    queued), and *processed* (its callbacks have run).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = _PENDING
+        # Failures are "defused" once some process observes them; an
+        # unobserved failure surfaces at env.run() to avoid being dropped.
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value (or exception) has been set."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        self.env._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = _TRIGGERED
+        self.env._enqueue(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self._defused = True
+            self.fail(event._value)
+
+    # -- internal --------------------------------------------------------
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._state = _PROCESSED
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = _TRIGGERED
+        env._enqueue(self, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._state = _TRIGGERED
+        env._enqueue(self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The process's value is the generator's return value; if the generator
+    raises, waiting processes observe the exception.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is rescheduled immediately; the event it was waiting
+        on is left un-consumed (its callbacks no longer include this
+        process).
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process that is not waiting")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event._state = _TRIGGERED
+        # Detach from the old target so its firing does not resume us.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        interrupt_event.callbacks = [self._resume]
+        self.env._enqueue(interrupt_event)
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._target = None
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._target = None
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+        if next_event.callbacks is None:
+            # Already processed: resume immediately with its value.
+            resume = Event(self.env)
+            resume._ok = next_event._ok
+            resume._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                resume._defused = True
+            resume._state = _TRIGGERED
+            resume.callbacks = [self._resume]
+            self.env._enqueue(resume)
+            self._target = resume
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class Condition(Event):
+    """An event that fires once ``evaluate`` holds over its sub-events."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("conditions cannot span environments")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {
+            event: event._value
+            for event in self._events
+            if event.processed and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Fires when all sub-events have fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count == len(events), events)
+
+
+class AnyOf(Condition):
+    """Fires when any sub-event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, lambda events, count: count >= 1, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        self._sequence += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        self._now, _, event = heapq.heappop(self._queue)
+        event._run_callbacks()
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a time
+        (run until the clock reaches it), or an :class:`Event` (run until
+        it fires, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until ({stop_time}) lies in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run() ran out of events before `until` event fired"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

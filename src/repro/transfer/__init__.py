@@ -1,0 +1,17 @@
+"""KV-cache transfer, CUDA stream/event simulation, and weight loaders."""
+
+from .kv_transfer import KvTransferManager, MoveList, RequestKv, TransferStats
+from .loader import NaiveLoader, QuickLoader
+from .streams import CudaEvent, CudaStream, synchronize_all
+
+__all__ = [
+    "CudaEvent",
+    "CudaStream",
+    "KvTransferManager",
+    "MoveList",
+    "NaiveLoader",
+    "QuickLoader",
+    "RequestKv",
+    "TransferStats",
+    "synchronize_all",
+]

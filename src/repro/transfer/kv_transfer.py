@@ -1,0 +1,278 @@
+"""KV-cache transfer with fine-grained synchronization (§5.3, Figure 10).
+
+Moving a request's KV cache between the unified GPU cache and the unified
+CPU cache must respect three data dependencies:
+
+* rule ❶ — inference needs the KV cache resident on the GPU;
+* rule ❷ — a new transfer needs the source blocks to have finished their
+  previous transfer;
+* rule ❸ — a new transfer's target blocks must be free of past transfers.
+
+Aegaeon enforces these with per-request CUDA events instead of blocking
+device synchronization.  Rule ❸ is realized through *move lists*: CPU
+blocks released by a swap-in stay unavailable (not returned to the slab
+allocator) until a daemon observes the covering event complete — the
+deferred free makes "allocations neglect blocks in move lists" automatic.
+
+``fine_grained=False`` reproduces the unoptimized path: every stage ends
+in a device-wide synchronize, and frees happen inline on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..memory.slab import KvBlock, SlabAllocator
+from ..models.kv import DEFAULT_BLOCK_TOKENS, KvShape
+from ..sim import Environment, Event
+from ..hardware.interconnect import DuplexLink
+from .streams import CudaEvent, CudaStream
+
+__all__ = ["RequestKv", "MoveList", "KvTransferManager", "TransferStats"]
+
+# Host-side cost of manipulating one event / index entry (control plane).
+CONTROL_OP_COST = 20e-6
+
+
+@dataclass
+class RequestKv:
+    """Tracks where one request's KV cache lives and its last transfer."""
+
+    request_id: int
+    shape: KvShape
+    tokens: int
+    block_tokens: int = DEFAULT_BLOCK_TOKENS
+    location: str = "none"  # none | gpu | cpu
+    gpu_blocks: list[KvBlock] = field(default_factory=list)
+    cpu_blocks: list[KvBlock] = field(default_factory=list)
+    last_transfer: Optional[CudaEvent] = None
+
+    @property
+    def block_count(self) -> int:
+        """Paged blocks needed for ``tokens`` tokens."""
+        return max(1, -(-self.tokens // self.block_tokens))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes actually moved for this request's KV."""
+        return self.tokens * self.shape.bytes_per_token
+
+    @property
+    def block_bytes(self) -> int:
+        return self.shape.block_bytes(self.block_tokens)
+
+    def ready_on_gpu(self) -> bool:
+        """Rule ❶ check: resident and the last transfer has completed."""
+        if self.location != "gpu":
+            return False
+        return self.last_transfer is None or self.last_transfer.query()
+
+    def grow(self, new_tokens: int, gpu_cache: SlabAllocator) -> None:
+        """Extend GPU-resident KV by ``new_tokens`` (decode appends)."""
+        if self.location != "gpu":
+            raise ValueError("can only grow KV resident on the GPU")
+        old_blocks = self.block_count
+        self.tokens += new_tokens
+        missing = self.block_count - old_blocks
+        if missing > 0:
+            self.gpu_blocks.extend(
+                gpu_cache.alloc(self.shape, self.block_bytes, missing)
+            )
+
+
+@dataclass
+class MoveList:
+    """Unsafe sections of the CPU cache: blocks with in-flight transfers."""
+
+    entries: list[tuple[list[KvBlock], CudaEvent]] = field(default_factory=list)
+
+    def add(self, blocks: list[KvBlock], event: CudaEvent) -> None:
+        """Mark blocks unsafe until ``event`` completes."""
+        self.entries.append((blocks, event))
+
+    def reclaim(self, cpu_cache: SlabAllocator) -> int:
+        """Free blocks whose transfers completed; returns blocks freed."""
+        freed = 0
+        remaining = []
+        for blocks, event in self.entries:
+            if event.query():
+                cpu_cache.free(blocks)
+                freed += len(blocks)
+            else:
+                remaining.append((blocks, event))
+        self.entries = remaining
+        return freed
+
+    @property
+    def pending_blocks(self) -> int:
+        return sum(len(blocks) for blocks, _ in self.entries)
+
+
+@dataclass
+class TransferStats:
+    """Aggregated overheads, feeding the Figure 14/15 breakdowns."""
+
+    swap_out_count: int = 0
+    swap_in_count: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+    control_overhead: float = 0.0  # host-side event/index manipulation
+    data_wait: float = 0.0  # explicit waiting for KV transfers
+    per_request_sync: dict[int, float] = field(default_factory=dict)
+
+    def charge_control(self, ops: int) -> None:
+        """Account host-side event/index manipulation cost."""
+        self.control_overhead += ops * CONTROL_OP_COST
+
+    def charge_wait(self, request_id: int, seconds: float) -> None:
+        """Account explicit waiting time for one request's KV transfer."""
+        self.data_wait += seconds
+        self.per_request_sync[request_id] = (
+            self.per_request_sync.get(request_id, 0.0) + seconds
+        )
+
+
+class KvTransferManager:
+    """Swap engine for one GPU: streams, move lists, and the daemon."""
+
+    def __init__(
+        self,
+        env: Environment,
+        link: DuplexLink,
+        gpu_cache: SlabAllocator,
+        cpu_cache: SlabAllocator,
+        move_list: Optional[MoveList] = None,
+        fine_grained: bool = True,
+        daemon_interval: float = 0.005,
+        name: str = "gpu",
+    ):
+        self.env = env
+        self.link = link
+        self.gpu_cache = gpu_cache
+        self.cpu_cache = cpu_cache
+        self.move_list = move_list if move_list is not None else MoveList()
+        self.fine_grained = fine_grained
+        self.stats = TransferStats()
+        self.kv_in = CudaStream(env, name=f"{name}.kv_in")
+        self.kv_out = CudaStream(env, name=f"{name}.kv_out")
+        self._daemon_interval = daemon_interval
+        env.process(self._reclaim_daemon())
+
+    # -- allocation on the GPU ------------------------------------------------
+    def alloc_gpu(self, kv: RequestKv) -> None:
+        """Give a fresh request its GPU KV blocks (prefill admission)."""
+        if kv.location != "none":
+            raise ValueError(f"request {kv.request_id} already has KV")
+        kv.gpu_blocks = self.gpu_cache.alloc(
+            kv.shape, kv.block_bytes, kv.block_count
+        )
+        kv.location = "gpu"
+
+    def free_gpu(self, kv: RequestKv) -> None:
+        """Drop a finished request's GPU KV."""
+        if kv.gpu_blocks:
+            self.gpu_cache.free(kv.gpu_blocks)
+            kv.gpu_blocks = []
+        if kv.location == "gpu":
+            kv.location = "none"
+
+    def gpu_capacity_blocks(self, shape: KvShape, block_tokens: int) -> int:
+        """How many more blocks of ``shape`` the GPU cache can hold."""
+        return self.gpu_cache.capacity_for(shape, shape.block_bytes(block_tokens))
+
+    # -- swap-out ---------------------------------------------------------------
+    def swap_out(self, kv: RequestKv) -> CudaEvent:
+        """Offload a request's KV to the unified CPU cache (async).
+
+        Returns the transfer event; GPU blocks are freed when the copy
+        completes (they are the *source*, safe to reuse afterwards).
+        """
+        if kv.location != "gpu":
+            raise ValueError(f"request {kv.request_id} is not on the GPU")
+        kv.cpu_blocks = self.cpu_cache.alloc(
+            kv.shape, kv.block_bytes, kv.block_count
+        )
+        # Rule ❷: our source (GPU blocks) must be done with its last
+        # transfer (e.g. the swap-in that brought it here).
+        if kv.last_transfer is not None and not kv.last_transfer.query():
+            self.kv_out.wait_event(kv.last_transfer)
+            self.stats.charge_control(1)
+        event = CudaEvent(self.env, name=f"out.r{kv.request_id}")
+        gpu_blocks = kv.gpu_blocks
+        kv.gpu_blocks = []
+
+        def release_source() -> None:
+            self.gpu_cache.free(gpu_blocks)
+
+        self.kv_out.copy(self.link.d2h, kv.nbytes, on_done=release_source)
+        self.kv_out.record(event)
+        kv.last_transfer = event
+        kv.location = "cpu"
+        self.stats.swap_out_count += 1
+        self.stats.bytes_out += kv.nbytes
+        self.stats.charge_control(2)
+        return event
+
+    # -- swap-in ----------------------------------------------------------------
+    def swap_in(self, kv: RequestKv) -> CudaEvent:
+        """Bring a request's KV back onto this GPU (async).
+
+        The CPU source blocks go onto the move list (rule ❸) and are
+        reclaimed by the daemon once the copy completes.
+        """
+        if kv.location != "cpu":
+            raise ValueError(f"request {kv.request_id} is not in the CPU cache")
+        kv.gpu_blocks = self.gpu_cache.alloc(
+            kv.shape, kv.block_bytes, kv.block_count
+        )
+        # Rule ❷: wait for the producing transfer (possibly recorded by a
+        # different instance and shared via IPC).
+        if kv.last_transfer is not None and not kv.last_transfer.query():
+            self.kv_in.wait_event(kv.last_transfer)
+            self.stats.charge_control(1)
+        event = CudaEvent(self.env, name=f"in.r{kv.request_id}")
+        cpu_blocks = kv.cpu_blocks
+        kv.cpu_blocks = []
+        self.kv_in.copy(self.link.h2d, kv.nbytes)
+        self.kv_in.record(event)
+        # Rule ❸: source CPU blocks stay unavailable until the copy is done.
+        self.move_list.add(cpu_blocks, event)
+        kv.last_transfer = event
+        kv.location = "gpu"
+        self.stats.swap_in_count += 1
+        self.stats.bytes_in += kv.nbytes
+        self.stats.charge_control(3)
+        return event
+
+    # -- host-side waits -----------------------------------------------------
+    def wait_ready(self, kv: RequestKv) -> Generator:
+        """Process: block until ``kv`` is usable on the GPU (rule ❶)."""
+        if kv.location != "gpu":
+            raise ValueError(f"request {kv.request_id} is not headed to the GPU")
+        if kv.last_transfer is None or kv.last_transfer.query():
+            return
+        start = self.env.now
+        yield kv.last_transfer.wait()
+        self.stats.charge_wait(kv.request_id, self.env.now - start)
+
+    def drain(self) -> Generator:
+        """Process: blocking synchronization of both KV streams.
+
+        This is what the unoptimized path does between auto-scaling
+        stages; the optimized path never calls it on the critical path.
+        """
+        start = self.env.now
+        yield self.env.all_of(
+            [self.kv_in.synchronize(), self.kv_out.synchronize()]
+        )
+        self.stats.data_wait += self.env.now - start
+
+    # -- internal -----------------------------------------------------------
+    def _reclaim_daemon(self) -> Generator:
+        """Periodically reclaim move-list blocks (Figure 10, step ⑧)."""
+        while True:
+            yield self.env.timeout(self._daemon_interval)
+            freed = self.move_list.reclaim(self.cpu_cache)
+            if freed:
+                self.stats.charge_control(1)

@@ -1,0 +1,40 @@
+"""Workload synthesis: arrivals, datasets, market skew, traces."""
+
+from .arrivals import BurstConfig, bursty_arrivals, poisson_arrivals, rate_series
+from .market import (
+    MarketShape,
+    PRODUCTION_SHAPE,
+    deployment_rates,
+    market_rates,
+    request_share_cdf,
+)
+from .sharegpt import (
+    Dataset,
+    LengthSample,
+    SHAREGPT,
+    sharegpt,
+    sharegpt_ix2,
+    sharegpt_ox2,
+)
+from .trace import Trace, TraceRequest, synthesize_trace
+
+__all__ = [
+    "BurstConfig",
+    "Dataset",
+    "LengthSample",
+    "MarketShape",
+    "PRODUCTION_SHAPE",
+    "SHAREGPT",
+    "Trace",
+    "TraceRequest",
+    "bursty_arrivals",
+    "deployment_rates",
+    "market_rates",
+    "poisson_arrivals",
+    "rate_series",
+    "request_share_cdf",
+    "sharegpt",
+    "sharegpt_ix2",
+    "sharegpt_ox2",
+    "synthesize_trace",
+]

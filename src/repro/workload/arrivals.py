@@ -1,0 +1,89 @@
+"""Arrival processes.
+
+The paper synthesizes workloads "with scaled Poisson processes and random
+sampling from the datasets" (§7.1); Figure 1(b) additionally shows
+short-term bursts on hot models.  Both generators live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["poisson_arrivals", "bursty_arrivals", "BurstConfig", "rate_series"]
+
+
+def poisson_arrivals(
+    rate: float, horizon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival times of a Poisson process with ``rate`` req/s on [0, horizon)."""
+    if rate < 0:
+        raise ValueError("rate must be non-negative")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if rate == 0:
+        return np.empty(0)
+    count = rng.poisson(rate * horizon)
+    return np.sort(rng.uniform(0.0, horizon, size=count))
+
+
+@dataclass(frozen=True)
+class BurstConfig:
+    """Shape of short-term bursts layered on a base Poisson rate.
+
+    Figure 1(b) shows a hot model whose rate hovers near a reserved level
+    and intermittently spikes past it; ``multiplier`` scales the rate
+    during an episode.
+    """
+
+    episode_rate: float = 1.0 / 120.0  # episodes per second
+    episode_duration: float = 20.0  # seconds
+    multiplier: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1.0:
+            raise ValueError("burst multiplier must be >= 1")
+
+
+def bursty_arrivals(
+    base_rate: float,
+    horizon: float,
+    rng: np.random.Generator,
+    burst: BurstConfig = BurstConfig(),
+) -> np.ndarray:
+    """Arrivals from a Poisson process with burst episodes.
+
+    Implemented by thinning: generate at the peak rate, then drop
+    arrivals outside episodes with probability ``1 - 1/multiplier``.
+    """
+    peak_rate = base_rate * burst.multiplier
+    candidates = poisson_arrivals(peak_rate, horizon, rng)
+    episode_starts = poisson_arrivals(burst.episode_rate, horizon, rng)
+
+    def in_episode(time: float) -> bool:
+        index = np.searchsorted(episode_starts, time) - 1
+        return index >= 0 and time - episode_starts[index] < burst.episode_duration
+
+    keep_probability = 1.0 / burst.multiplier
+    kept = [
+        t
+        for t in candidates
+        if in_episode(t) or rng.random() < keep_probability
+    ]
+    return np.asarray(kept)
+
+
+def rate_series(
+    arrivals: np.ndarray, horizon: float, window: float = 10.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Windowed arrival-rate time series (Figure 1(b)'s y-axis).
+
+    Returns (window centers, req/s within each window).
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    edges = np.arange(0.0, horizon + window, window)
+    counts, _ = np.histogram(arrivals, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, counts / window

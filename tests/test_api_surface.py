@@ -1,0 +1,67 @@
+"""API-surface sanity: exports resolve and public items are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.hardware",
+    "repro.models",
+    "repro.memory",
+    "repro.transfer",
+    "repro.engine",
+    "repro.core",
+    "repro.baselines",
+    "repro.workload",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_module_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} lacks a module docstring"
+
+
+@pytest.mark.parametrize("package", PACKAGES[1:])
+def test_public_items_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if inspect.isclass(item) or inspect.isfunction(item):
+            if not inspect.getdoc(item):
+                undocumented.append(f"{package}.{name}")
+        if inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    undocumented.append(f"{package}.{name}.{method_name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_no_export_name_collisions_across_core_packages():
+    # A symbol exported by two packages must be the same object
+    # (re-export), never two different things under one name.
+    seen: dict[str, tuple[str, object]] = {}
+    for package in PACKAGES[1:]:
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name)
+            if name in seen and seen[name][1] is not item:
+                other_package = seen[name][0]
+                raise AssertionError(
+                    f"{name} exported differently by {package} and {other_package}"
+                )
+            seen[name] = (package, item)

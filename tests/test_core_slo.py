@@ -1,0 +1,94 @@
+"""Tests for SLO definitions and per-token deadline accounting (§2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import DEFAULT_SLO, SloSpec, token_deadlines, tokens_met
+
+
+class TestSloSpec:
+    def test_paper_defaults(self):
+        assert DEFAULT_SLO.ttft == 10.0
+        assert DEFAULT_SLO.tbt == 0.100
+
+    def test_scale_uniform(self):
+        strict = DEFAULT_SLO.scale(0.2)
+        assert strict.ttft == pytest.approx(2.0)
+        assert strict.tbt == pytest.approx(0.020)
+
+    def test_scale_tbt_only(self):
+        loose = DEFAULT_SLO.scale_tbt(2.0)
+        assert loose.ttft == 10.0
+        assert loose.tbt == pytest.approx(0.2)
+
+    def test_scale_ttft_only(self):
+        strict = DEFAULT_SLO.scale_ttft(0.5)
+        assert strict.ttft == 5.0
+        assert strict.tbt == 0.1
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(ValueError):
+            SloSpec(ttft=0.0)
+        with pytest.raises(ValueError):
+            SloSpec(tbt=-1.0)
+
+
+class TestDeadlines:
+    def test_first_token_gets_ttft(self):
+        deadlines = token_deadlines(arrival=5.0, token_count=3, slo=DEFAULT_SLO)
+        assert deadlines[0] == pytest.approx(15.0)
+
+    def test_subsequent_spacing_is_tbt(self):
+        deadlines = token_deadlines(0.0, 10, DEFAULT_SLO)
+        assert np.allclose(np.diff(deadlines), 0.1)
+
+    def test_zero_tokens(self):
+        assert token_deadlines(0.0, 0, DEFAULT_SLO).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            token_deadlines(0.0, -1, DEFAULT_SLO)
+
+
+class TestTokensMet:
+    def test_all_on_time(self):
+        times = [5.0, 5.05, 5.1]
+        met, total = tokens_met(0.0, times, DEFAULT_SLO)
+        assert (met, total) == (3, 3)
+
+    def test_buffered_burst_then_stall(self):
+        # Figure 3's point: tokens generated early buy slack for a stall.
+        slo = SloSpec(ttft=1.0, tbt=0.1)
+        # 10 tokens at t=1.0 (all early), then a 0.9 s stall before 11th.
+        times = [1.0] * 10 + [1.9]
+        met, total = tokens_met(0.0, times, slo)
+        assert met == 11  # deadline of token 11 is 1.0 + 10*0.1 = 2.0
+
+    def test_late_first_token(self):
+        slo = SloSpec(ttft=1.0, tbt=0.1)
+        met, _ = tokens_met(0.0, [1.5, 1.55], slo)
+        assert met == 0  # token 2 deadline 1.1 also missed
+
+    def test_empty(self):
+        assert tokens_met(0.0, [], DEFAULT_SLO) == (0, 0)
+
+    @given(
+        arrival=st.floats(min_value=0, max_value=100),
+        count=st.integers(min_value=1, max_value=200),
+        rate=st.floats(min_value=0.001, max_value=0.099),
+    )
+    def test_generation_faster_than_tbt_always_meets(self, arrival, count, rate):
+        # Tokens emitted faster than the TBT, starting within TTFT,
+        # can never miss a deadline.
+        slo = SloSpec(ttft=1.0, tbt=0.1)
+        times = [arrival + 0.5 + i * rate for i in range(count)]
+        met, total = tokens_met(arrival, times, slo)
+        assert met == total == count
+
+    @given(count=st.integers(min_value=1, max_value=100))
+    def test_met_never_exceeds_total(self, count):
+        rng = np.random.default_rng(count)
+        times = np.cumsum(rng.uniform(0, 0.5, size=count))
+        met, total = tokens_met(0.0, times, DEFAULT_SLO)
+        assert 0 <= met <= total == count

@@ -1,0 +1,48 @@
+"""Determinism: identical seeds must give bit-identical serving runs.
+
+The simulation kernel breaks ties by scheduling order, so a full
+end-to-end serve — schedulers, engines, transfers, daemons — must be a
+pure function of (trace, configuration).
+"""
+
+from repro.core import AegaeonConfig, AegaeonServer
+from repro.baselines import ServerlessLLM
+from repro.hardware import Cluster, H800
+from repro.models import market_mix
+from repro.sim import Environment
+from repro.workload import sharegpt, synthesize_trace
+
+
+def run_aegaeon(seed):
+    env = Environment()
+    server = AegaeonServer(
+        env,
+        Cluster.homogeneous(env, H800, 1, 4),
+        AegaeonConfig(prefill_instances=1, decode_instances=3),
+    )
+    models = market_mix(8)
+    trace = synthesize_trace(models, [0.1] * 8, sharegpt(), horizon=60.0, seed=seed)
+    result = server.serve(trace)
+    return [
+        (r.request_id, r.prefill_start, r.finish_time, tuple(r.token_times))
+        for r in result.requests
+    ]
+
+
+class TestDeterminism:
+    def test_aegaeon_bitwise_repeatable(self):
+        assert run_aegaeon(1) == run_aegaeon(1)
+
+    def test_different_seeds_differ(self):
+        assert run_aegaeon(1) != run_aegaeon(2)
+
+    def test_serverless_llm_repeatable(self):
+        def run():
+            env = Environment()
+            server = ServerlessLLM(env, Cluster.homogeneous(env, H800, 1, 2))
+            models = market_mix(4)
+            trace = synthesize_trace(models, [0.1] * 4, sharegpt(), horizon=40.0, seed=5)
+            result = server.serve(trace)
+            return [(r.request_id, tuple(r.token_times)) for r in result.requests]
+
+        assert run() == run()

@@ -1,0 +1,156 @@
+"""Stress tests: long switch sequences, buffer stability, KV churn."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AegaeonEngine, EngineConfig
+from repro.hardware import H800, Node
+from repro.memory import HostModelCache, SlabAllocator
+from repro.models import get_model, kv_shape, models_in_range
+from repro.sim import Environment
+from repro.transfer import RequestKv
+
+GiB = 1024**3
+MiB = 1024**2
+
+POOL = [spec.name for spec in models_in_range(6.0, 14.5)]
+
+
+def make_engine(env, config=EngineConfig()):
+    node = Node(env, H800, gpu_count=1)
+    cache = HostModelCache(640 * GiB)
+    for name in POOL:
+        cache.insert(name, get_model(name).weight_bytes)
+    cpu_kv = SlabAllocator(320 * GiB, 256 * MiB)
+    return AegaeonEngine(
+        env, node, node.gpus, cache, cpu_kv, config=config, pre_initialized=True
+    )
+
+
+class TestSwitchMarathon:
+    def test_hundred_switches_no_buffer_creep(self):
+        # The bump buffer must return to a one-model footprint after
+        # every switch, forever — no pointer creep, no leaked extents.
+        env = Environment()
+        engine = make_engine(env, EngineConfig(prefetch=False))
+
+        def marathon():
+            for index in range(100):
+                spec = get_model(POOL[index % len(POOL)])
+                yield from engine.scale_to(spec)
+
+        env.run(until=env.process(marathon()))
+        assert len(engine.weights.live_allocations) == 1
+        current = engine.current_model
+        assert engine.weights.live_bytes == engine.shard_bytes(current)
+        assert len(engine.scale_history) == 100
+
+    def test_prefetch_chain_stays_consistent(self):
+        # Alternate A/B with prefetch: every switch should be able to
+        # use (or wait for) the prefetched weights; the buffer holds at
+        # most two extents at any time.
+        env = Environment()
+        engine = make_engine(env)
+        a, b = get_model("Qwen-7B"), get_model("Yi-6B")
+
+        def chain():
+            yield from engine.scale_to(a)
+            for index in range(30):
+                target = b if index % 2 == 0 else a
+                engine.prefetch(target)
+                yield from engine.decode_for(
+                    engine.current_model, 2.0
+                )
+                yield from engine.scale_to(target)
+                assert len(engine.weights.live_allocations) <= 2
+
+        env.run(until=env.process(chain()))
+        switches = [r for r in engine.scale_history if r.model_from is not None]
+        hits = [r for r in switches if r.prefetch_hit]
+        # With 2 s of decode per turn, nearly every switch is
+        # prefetch-backed.
+        assert len(hits) >= 0.8 * len(switches)
+        latencies = np.array([r.total for r in switches])
+        assert np.median(latencies) < 0.3
+
+    def test_switch_history_timeline_is_consistent(self):
+        env = Environment()
+        engine = make_engine(env, EngineConfig(prefetch=False))
+
+        def run():
+            for index in range(20):
+                yield from engine.scale_to(get_model(POOL[index % 3]))
+
+        env.run(until=env.process(run()))
+        previous_end = 0.0
+        for record in engine.scale_history:
+            assert record.started >= previous_end - 1e-9
+            assert record.ended >= record.started
+            assert record.total == pytest.approx(
+                sum(record.stages.values()), abs=0.02
+            ) or record.prefetch_hit
+            previous_end = record.ended
+
+
+class TestKvChurn:
+    def test_thousand_swap_cycles_no_leak(self):
+        env = Environment()
+        engine = make_engine(env, EngineConfig(prefetch=False))
+        spec = get_model("Qwen-7B")
+        shape = kv_shape(spec)
+
+        def churn():
+            yield from engine.scale_to(spec)
+            for cycle in range(200):
+                kvs = []
+                for offset in range(5):
+                    kv = RequestKv(
+                        request_id=cycle * 10 + offset, shape=shape, tokens=128
+                    )
+                    engine.kv.alloc_gpu(kv)
+                    kvs.append(kv)
+                for kv in kvs:
+                    engine.kv.swap_out(kv)
+                for kv in kvs:
+                    # Wait for the offload, then bring it back.
+                    yield kv.last_transfer.wait()
+                    engine.kv.swap_in(kv)
+                for kv in kvs:
+                    yield kv.last_transfer.wait()
+                    engine.kv.free_gpu(kv)
+            # Let the reclaim daemon mop up move-list remnants.
+            yield env.timeout(1.0)
+
+        env.run(until=env.process(churn()))
+        assert engine.gpu_kv_cache.held_bytes == 0
+        assert engine.kv.cpu_cache.held_bytes == 0
+        assert engine.kv.move_list.pending_blocks == 0
+        assert engine.kv.stats.swap_out_count == 1000
+        assert engine.kv.stats.swap_in_count == 1000
+
+    def test_interleaved_shapes_share_cpu_cache(self):
+        env = Environment()
+        engine_a = make_engine(env, EngineConfig(prefetch=False))
+        shapes = [kv_shape(get_model(name)) for name in POOL[:4]]
+
+        def churn():
+            spec = get_model(POOL[0])
+            yield from engine_a.scale_to(spec)
+            live = []
+            for index in range(120):
+                shape = shapes[index % len(shapes)]
+                kv = RequestKv(request_id=index, shape=shape, tokens=64)
+                kv.cpu_blocks = engine_a.kv.cpu_cache.alloc(
+                    shape, kv.block_bytes, kv.block_count
+                )
+                kv.location = "cpu"
+                live.append(kv)
+                if len(live) > 30:
+                    victim = live.pop(0)
+                    engine_a.kv.cpu_cache.free(victim.cpu_blocks)
+            for kv in live:
+                engine_a.kv.cpu_cache.free(kv.cpu_blocks)
+
+        env.run(until=env.process(churn()))
+        assert engine_a.kv.cpu_cache.held_bytes == 0
+        assert engine_a.kv.cpu_cache.overall_fragmentation() == 0.0

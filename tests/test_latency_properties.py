@@ -1,0 +1,121 @@
+"""Property-based tests for the analytical latency model (Appendix A.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import A10, GPU_PRESETS, H800
+from repro.models import (
+    LatencyModel,
+    MODEL_CATALOG,
+    get_model,
+    switch_time,
+)
+
+MODEL_NAMES = sorted(MODEL_CATALOG)
+GPU_NAMES = sorted(GPU_PRESETS)
+
+
+class TestPrefillProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        model=st.sampled_from(MODEL_NAMES),
+        length=st.integers(min_value=1, max_value=8192),
+    )
+    def test_positive_and_finite(self, model, length):
+        latency = LatencyModel(get_model(model), H800)
+        time = latency.prefill_time([length])
+        assert 0 < time < 120.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        model=st.sampled_from(MODEL_NAMES),
+        short=st.integers(min_value=1, max_value=2048),
+        extra=st.integers(min_value=1, max_value=2048),
+    )
+    def test_monotone_in_length(self, model, short, extra):
+        latency = LatencyModel(get_model(model), H800)
+        assert latency.prefill_time([short + extra]) > latency.prefill_time([short])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=16, max_value=1024), min_size=2, max_size=6
+        )
+    )
+    def test_batching_no_worse_than_serial(self, lengths):
+        # One batch never takes longer than running the requests one by
+        # one (it saves the per-batch overhead).
+        latency = LatencyModel(get_model("Qwen-7B"), H800)
+        together = latency.prefill_time(lengths)
+        apart = sum(latency.prefill_time([length]) for length in lengths)
+        assert together <= apart + 1e-9
+
+
+class TestDecodeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        model=st.sampled_from(MODEL_NAMES),
+        batch=st.integers(min_value=1, max_value=64),
+        context=st.integers(min_value=1, max_value=65536),
+    )
+    def test_positive_and_bounded(self, model, batch, context):
+        latency = LatencyModel(get_model(model), H800)
+        time = latency.decode_step_time(batch, context)
+        assert 0 < time < 5.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=32),
+        context=st.integers(min_value=64, max_value=16384),
+        extra=st.integers(min_value=1, max_value=16384),
+    )
+    def test_monotone_in_context(self, batch, context, extra):
+        latency = LatencyModel(get_model("Llama-13B"), H800)
+        assert latency.decode_step_time(batch, context + extra) >= latency.decode_step_time(
+            batch, context
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(model=st.sampled_from(MODEL_NAMES))
+    def test_batching_improves_per_token_efficiency(self, model):
+        # Decoding is memory-bound: 8 requests in one step cost far less
+        # than 8 separate steps.
+        latency = LatencyModel(get_model(model), H800)
+        batched = latency.decode_step_time(8, 8 * 512)
+        serial = 8 * latency.decode_step_time(1, 512)
+        assert batched < serial
+
+
+class TestCrossHardwareProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        model=st.sampled_from(["Qwen-1.8B", "Yi-6B", "Qwen-7B"]),
+        length=st.integers(min_value=64, max_value=2048),
+    )
+    def test_a10_never_faster_than_h800(self, model, length):
+        spec = get_model(model)
+        fast = LatencyModel(spec, H800)
+        slow = LatencyModel(spec, A10)
+        assert slow.prefill_time([length]) > fast.prefill_time([length])
+        assert slow.decode_step_time(4, length) > fast.decode_step_time(4, length)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        model=st.sampled_from(MODEL_NAMES),
+        gpu=st.sampled_from(GPU_NAMES),
+    )
+    def test_switch_time_scales_with_weights(self, model, gpu):
+        spec = get_model(model)
+        device = GPU_PRESETS[gpu]
+        time = switch_time(spec, device)
+        assert time == pytest.approx(
+            spec.weight_bytes / (device.pcie_bandwidth * 0.625)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(tp=st.sampled_from([1, 2, 4, 8]))
+    def test_tp_divides_switch_time(self, tp):
+        spec = get_model("Qwen-72B")
+        assert switch_time(spec, H800, tp=tp) == pytest.approx(
+            switch_time(spec, H800, tp=1) / tp
+        )

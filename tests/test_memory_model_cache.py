@@ -1,0 +1,68 @@
+"""Tests for the host model cache (§5.2)."""
+
+import pytest
+
+from repro.memory import HostModelCache
+
+GiB = 1024**3
+
+
+class TestModelCache:
+    def test_hit_and_miss_counting(self):
+        cache = HostModelCache(capacity_bytes=100 * GiB)
+        assert not cache.lookup("m1")
+        cache.insert("m1", 10 * GiB)
+        assert cache.lookup("m1")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = HostModelCache(capacity_bytes=30 * GiB)
+        cache.insert("a", 10 * GiB)
+        cache.insert("b", 10 * GiB)
+        cache.insert("c", 10 * GiB)
+        cache.lookup("a")  # touch a; b is now LRU
+        evicted = cache.insert("d", 10 * GiB)
+        assert evicted == ["b"]
+        assert cache.contains("a") and cache.contains("c") and cache.contains("d")
+
+    def test_pinned_entries_survive(self):
+        cache = HostModelCache(capacity_bytes=20 * GiB)
+        cache.insert("a", 10 * GiB)
+        cache.insert("b", 10 * GiB)
+        cache.pin("a")
+        evicted = cache.insert("c", 10 * GiB)
+        assert evicted == ["b"]
+        cache.unpin("a")
+
+    def test_all_pinned_raises(self):
+        cache = HostModelCache(capacity_bytes=20 * GiB)
+        cache.insert("a", 10 * GiB)
+        cache.insert("b", 10 * GiB)
+        cache.pin("a")
+        cache.pin("b")
+        with pytest.raises(MemoryError):
+            cache.insert("c", 10 * GiB)
+
+    def test_oversized_checkpoint_rejected(self):
+        cache = HostModelCache(capacity_bytes=10 * GiB)
+        with pytest.raises(MemoryError):
+            cache.insert("huge", 20 * GiB)
+
+    def test_reinsert_is_noop(self):
+        cache = HostModelCache(capacity_bytes=30 * GiB)
+        cache.insert("a", 10 * GiB)
+        assert cache.insert("a", 10 * GiB) == []
+        assert cache.used_bytes == 10 * GiB
+
+    def test_unpin_without_pin_raises(self):
+        cache = HostModelCache(capacity_bytes=10 * GiB)
+        cache.insert("a", 1 * GiB)
+        with pytest.raises(ValueError):
+            cache.unpin("a")
+
+    def test_eviction_counter(self):
+        cache = HostModelCache(capacity_bytes=10 * GiB)
+        cache.insert("a", 10 * GiB)
+        cache.insert("b", 10 * GiB)
+        assert cache.evictions == 1

@@ -1,0 +1,143 @@
+"""Tests for the slab-allocated unified KV cache (§5.2, Figure 16)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import SlabAllocator
+from repro.models import get_model, kv_shape
+
+MiB = 1024**2
+
+
+@pytest.fixture
+def allocator():
+    # 64 slabs of 16 MiB = 1 GiB region.
+    return SlabAllocator(region_bytes=1024 * MiB, slab_bytes=16 * MiB)
+
+
+class TestSlabBasics:
+    def test_alloc_returns_distinct_blocks(self, allocator):
+        blocks = allocator.alloc("shape-a", block_bytes=1 * MiB, count=20)
+        assert len({b.address for b in blocks}) == 20
+        assert all(b.shape == "shape-a" for b in blocks)
+
+    def test_blocks_fill_slab_before_acquiring_new(self, allocator):
+        blocks = allocator.alloc("a", block_bytes=1 * MiB, count=16)
+        assert len({b.slab_index for b in blocks}) == 1
+        more = allocator.alloc("a", block_bytes=1 * MiB, count=1)
+        assert more[0].slab_index != blocks[0].slab_index
+
+    def test_free_returns_slab_to_pool(self, allocator):
+        initial_free = allocator.free_slab_count
+        blocks = allocator.alloc("a", block_bytes=1 * MiB, count=16)
+        assert allocator.free_slab_count == initial_free - 1
+        allocator.free(blocks)
+        assert allocator.free_slab_count == initial_free
+
+    def test_freed_slab_reusable_by_other_shape(self, allocator):
+        blocks = allocator.alloc("a", block_bytes=16 * MiB, count=64)
+        with pytest.raises(MemoryError):
+            allocator.alloc("b", block_bytes=1 * MiB, count=1)
+        allocator.free(blocks)
+        allocator.alloc("b", block_bytes=1 * MiB, count=64 * 16)
+
+    def test_double_free_detected(self, allocator):
+        blocks = allocator.alloc("a", block_bytes=1 * MiB, count=1)
+        allocator.free(blocks)
+        with pytest.raises(ValueError):
+            allocator.free(blocks)
+
+    def test_conflicting_block_bytes_rejected(self, allocator):
+        allocator.alloc("a", block_bytes=1 * MiB, count=1)
+        with pytest.raises(ValueError):
+            allocator.alloc("a", block_bytes=2 * MiB, count=1)
+
+    def test_all_or_nothing_on_exhaustion(self, allocator):
+        held = allocator.alloc("a", block_bytes=16 * MiB, count=63)
+        with pytest.raises(MemoryError):
+            allocator.alloc("b", block_bytes=16 * MiB, count=2)
+        # The failed alloc must not leak partial blocks.
+        assert allocator.free_slab_count == 1
+        allocator.free(held)
+
+    def test_region_truncated_to_slab_multiple(self):
+        allocator = SlabAllocator(region_bytes=100 * MiB, slab_bytes=16 * MiB)
+        assert allocator.slab_count == 6
+        assert allocator.region_bytes == 96 * MiB
+
+
+class TestRealKvShapes:
+    """Exercise the allocator with the paper's actual KV shapes."""
+
+    def test_mixed_models_coexist(self, allocator):
+        shapes = {
+            name: kv_shape(get_model(name))
+            for name in ["Qwen-7B", "InternLM2.5-7B", "Llama-13B"]
+        }
+        held = {}
+        for name, shape in shapes.items():
+            held[name] = allocator.alloc(shape, shape.block_bytes(16), count=3)
+        stats = {str(s.shape): s for s in allocator.shape_stats()}
+        assert len(stats) == 3
+        for name, blocks in held.items():
+            allocator.free(blocks)
+        assert allocator.held_bytes == 0
+
+    def test_fragmentation_below_paper_bound(self, allocator):
+        # Figure 16: overall fragmentation stays below ~20% in steady
+        # state for realistic block sizes.
+        shape = kv_shape(get_model("Qwen-7B"))
+        block = shape.block_bytes(16)  # 8 MiB
+        allocator.alloc(shape, block, count=100)
+        assert allocator.overall_fragmentation() < 0.2
+
+
+class TestSlabProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["alloc", "free"]),
+                st.integers(min_value=0, max_value=3),  # shape id
+                st.integers(min_value=1, max_value=12),  # block count
+            ),
+            max_size=60,
+        )
+    )
+    def test_accounting_invariants(self, operations):
+        allocator = SlabAllocator(region_bytes=64 * MiB, slab_bytes=4 * MiB)
+        block_bytes = {0: 256 * 1024, 1: 512 * 1024, 2: 1 * MiB, 3: 4 * MiB}
+        live: dict[int, list] = {0: [], 1: [], 2: [], 3: []}
+        for action, shape_id, count in operations:
+            if action == "alloc":
+                try:
+                    blocks = allocator.alloc(shape_id, block_bytes[shape_id], count)
+                except MemoryError:
+                    continue
+                live[shape_id].extend(blocks)
+            elif live[shape_id]:
+                taken = live[shape_id][:count]
+                del live[shape_id][:count]
+                allocator.free(taken)
+            # Invariants after every step:
+            addresses = [b.address for group in live.values() for b in group]
+            assert len(addresses) == len(set(addresses)), "double allocation"
+            live_bytes = sum(
+                b.nbytes for group in live.values() for b in group
+            )
+            assert live_bytes <= allocator.held_bytes <= allocator.region_bytes
+            for stats in allocator.shape_stats():
+                assert stats.used_blocks == len(live[stats.shape])
+                assert 0.0 <= stats.fragmentation <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=256))
+    def test_alloc_free_roundtrip_restores_state(self, count):
+        allocator = SlabAllocator(region_bytes=64 * MiB, slab_bytes=4 * MiB)
+        try:
+            blocks = allocator.alloc("x", 256 * 1024, count)
+        except MemoryError:
+            return
+        allocator.free(blocks)
+        assert allocator.free_slab_count == allocator.slab_count
+        assert allocator.overall_fragmentation() == 0.0

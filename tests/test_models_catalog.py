@@ -1,0 +1,107 @@
+"""Tests for the model catalog and KV-cache geometry (paper Table 1)."""
+
+import pytest
+
+from repro.models import (
+    MODEL_CATALOG,
+    ModelSpec,
+    get_model,
+    kv_block_bytes,
+    kv_bytes_per_token,
+    kv_shape,
+    market_mix,
+    models_in_range,
+)
+
+
+class TestCatalog:
+    def test_table1_models_present(self):
+        for name in ["Qwen-7B", "InternLM2.5-7B", "Llama-13B", "Qwen-72B"]:
+            assert name in MODEL_CATALOG
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("GPT-5")
+
+    def test_weight_bytes_fp16(self):
+        spec = get_model("Llama-13B")
+        assert spec.weight_bytes == spec.params * 2
+        # ~26 GB, the figure the paper uses for its PCIe arithmetic.
+        assert 25e9 < spec.weight_bytes < 27e9
+
+    def test_models_in_range(self):
+        mains = models_in_range(6.0, 14.5)
+        assert all(6.0 <= spec.params_b <= 14.5 for spec in mains)
+        assert len(mains) >= 6
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec(
+                name="bad",
+                family="x",
+                params=1000,
+                n_layers=2,
+                hidden_size=64,
+                n_heads=6,
+                n_kv_heads=4,  # 6 % 4 != 0
+                head_dim=16,
+                ffn_intermediate=128,
+            )
+
+
+class TestTensorParallelism:
+    def test_shard_divides_params(self):
+        spec = get_model("Qwen-72B")
+        shard = spec.shard(4)
+        assert shard.params == spec.params // 4
+        assert shard.n_heads == 16
+
+    def test_gqa_kv_heads_floor_at_one(self):
+        spec = get_model("Yi-6B")  # 4 KV heads
+        shard = spec.shard(8)
+        assert shard.n_kv_heads == 1
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            get_model("Qwen-7B").shard(5)
+
+
+class TestTable1KvShapes:
+    """The exact rows of the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "name, dims, size_kb",
+        [
+            ("Qwen-7B", (32, 2, 32, 128), 512),
+            ("InternLM2.5-7B", (32, 2, 8, 128), 128),
+            ("Llama-13B", (40, 2, 40, 128), 800),
+            ("Qwen-72B", (80, 2, 64, 128), 2560),
+        ],
+    )
+    def test_row(self, name, dims, size_kb):
+        shape = kv_shape(get_model(name))
+        assert shape.dims == dims
+        assert shape.bytes_per_token == size_kb * 1024
+
+    def test_tp_divides_kv(self):
+        per_gpu = kv_bytes_per_token(get_model("Qwen-72B"), tp=4)
+        assert per_gpu == 2560 * 1024 // 4
+
+    def test_block_bytes(self):
+        spec = get_model("Qwen-7B")
+        assert kv_block_bytes(spec, block_tokens=16) == 512 * 1024 * 16
+
+
+class TestMarketMix:
+    def test_unique_names(self):
+        mix = market_mix(40)
+        names = [spec.name for spec in mix]
+        assert len(set(names)) == 40
+
+    def test_sizes_in_band(self):
+        for spec in market_mix(20):
+            assert 6.0 <= spec.params_b <= 14.5
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            market_mix(5, min_b=100.0, max_b=200.0)

@@ -1,0 +1,46 @@
+"""Tests for the capacity planner."""
+
+import pytest
+
+from repro.analysis import PoolPlan, plan_pool
+from repro.hardware import H800
+from repro.models import market_mix
+from repro.workload import sharegpt, synthesize_trace
+
+
+def small_trace(n_models=6, rps=0.08, horizon=60.0, seed=13):
+    models = market_mix(n_models)
+    return synthesize_trace(models, [rps] * n_models, sharegpt(), horizon, seed=seed)
+
+
+class TestPlanPool:
+    def test_finds_small_pool_for_light_load(self):
+        trace = small_trace()
+        plan = plan_pool(trace, H800, candidates=[(1, 1), (1, 2), (2, 3)])
+        assert plan is not None
+        assert plan.gpus <= 5
+        assert plan.attainment >= 0.90
+
+    def test_returns_none_when_infeasible(self):
+        trace = small_trace(n_models=20, rps=0.5, horizon=60.0)
+        plan = plan_pool(trace, H800, candidates=[(1, 1)])
+        assert plan is None
+
+    def test_candidates_tried_smallest_first(self):
+        trace = small_trace()
+        plan = plan_pool(trace, H800, candidates=[(2, 6), (1, 2), (1, 1)])
+        assert plan is not None
+        # A light workload should settle on the smallest feasible pool,
+        # not the first-listed big one.
+        assert plan.gpus <= 3
+
+    def test_saving_vs_dedicated(self):
+        plan = PoolPlan(
+            prefill_instances=1,
+            decode_instances=2,
+            tp=1,
+            attainment=0.95,
+            result=None,
+        )
+        assert plan.saving_versus_dedicated(24) == pytest.approx(1 - 3 / 24)
+        assert "1P+2D" in str(plan)

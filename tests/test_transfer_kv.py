@@ -1,0 +1,188 @@
+"""Tests for KV-cache transfer with fine-grained synchronization (§5.3)."""
+
+import pytest
+
+from repro.hardware import pcie_pair
+from repro.memory import SlabAllocator
+from repro.models import get_model, kv_shape
+from repro.sim import Environment
+from repro.transfer import KvTransferManager, MoveList, RequestKv
+
+MiB = 1024**2
+GiB = 1024**3
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def make_manager(env, fine_grained=True, bandwidth=32e9):
+    link = pcie_pair(env, bandwidth=bandwidth)
+    gpu_cache = SlabAllocator(region_bytes=8 * GiB, slab_bytes=64 * MiB)
+    cpu_cache = SlabAllocator(region_bytes=32 * GiB, slab_bytes=64 * MiB)
+    return KvTransferManager(
+        env, link, gpu_cache, cpu_cache, fine_grained=fine_grained
+    )
+
+
+def make_kv(request_id=0, tokens=512, model="Qwen-7B"):
+    return RequestKv(
+        request_id=request_id,
+        shape=kv_shape(get_model(model)),
+        tokens=tokens,
+    )
+
+
+class TestAllocation:
+    def test_alloc_gpu_sets_blocks(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=100)
+        manager.alloc_gpu(kv)
+        assert kv.location == "gpu"
+        assert len(kv.gpu_blocks) == kv.block_count == 7  # ceil(100/16)
+        assert kv.ready_on_gpu()
+
+    def test_double_alloc_rejected(self, env):
+        manager = make_manager(env)
+        kv = make_kv()
+        manager.alloc_gpu(kv)
+        with pytest.raises(ValueError):
+            manager.alloc_gpu(kv)
+
+    def test_free_gpu_returns_blocks(self, env):
+        manager = make_manager(env)
+        kv = make_kv()
+        held_before = manager.gpu_cache.held_bytes
+        manager.alloc_gpu(kv)
+        manager.free_gpu(kv)
+        assert manager.gpu_cache.held_bytes == held_before
+        assert kv.location == "none"
+
+    def test_grow_appends_blocks(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=16)
+        manager.alloc_gpu(kv)
+        kv.grow(16, manager.gpu_cache)
+        assert kv.tokens == 32
+        assert len(kv.gpu_blocks) == 2
+
+
+class TestSwapOut:
+    def test_moves_to_cpu_and_frees_gpu_async(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=1024)
+        manager.alloc_gpu(kv)
+        gpu_held = manager.gpu_cache.held_bytes
+        event = manager.swap_out(kv)
+        assert kv.location == "cpu"
+        assert not event.query()
+        # GPU blocks are freed only once the copy completes.
+        assert manager.gpu_cache.held_bytes == gpu_held
+        env.run(until=5.0)
+        assert event.query()
+        assert manager.gpu_cache.held_bytes == 0
+        assert len(kv.cpu_blocks) == kv.block_count
+
+    def test_swap_out_requires_gpu_residency(self, env):
+        manager = make_manager(env)
+        with pytest.raises(ValueError):
+            manager.swap_out(make_kv())
+
+    def test_transfer_duration_matches_bytes(self, env):
+        manager = make_manager(env, bandwidth=1e9)
+        kv = make_kv(tokens=1024)  # 1024 * 512KB = 512 MiB
+        manager.alloc_gpu(kv)
+        event = manager.swap_out(kv)
+        env.run(until=60.0)
+        expected = kv.nbytes / 1e9
+        assert event.completed_at == pytest.approx(expected, rel=0.01)
+
+
+class TestSwapIn:
+    def test_round_trip(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=256)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=2.0)
+        manager.swap_in(kv)
+        assert kv.location == "gpu"
+        assert not kv.ready_on_gpu()  # transfer still in flight
+        env.run(until=4.0)
+        assert kv.ready_on_gpu()
+
+    def test_rule2_swap_in_waits_for_swap_out(self, env):
+        # Swap out and immediately swap in: the h2d copy must not begin
+        # before the d2h copy has finished (rule ❷).
+        manager = make_manager(env, bandwidth=1e9)
+        kv = make_kv(tokens=1024)  # 512 MiB => ~0.54s each way
+        manager.alloc_gpu(kv)
+        out_event = manager.swap_out(kv)
+        in_event = manager.swap_in(kv)
+        env.run(until=30.0)
+        assert in_event.completed_at >= out_event.completed_at + kv.nbytes / 1e9 * 0.99
+
+    def test_rule3_cpu_blocks_deferred_until_copy_done(self, env):
+        manager = make_manager(env, bandwidth=1e9)
+        kv = make_kv(tokens=1024)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=2.0)
+        cpu_held = manager.cpu_cache.held_bytes
+        manager.swap_in(kv)
+        # CPU blocks are on the move list, not yet freed.
+        assert manager.cpu_cache.held_bytes == cpu_held
+        assert manager.move_list.pending_blocks == kv.block_count
+        env.run(until=10.0)
+        # Daemon reclaimed them after the copy completed.
+        assert manager.move_list.pending_blocks == 0
+        assert manager.cpu_cache.held_bytes == 0
+
+    def test_wait_ready_charges_data_overhead(self, env):
+        manager = make_manager(env, bandwidth=1e9)
+        kv = make_kv(tokens=1024)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=2.0)
+        manager.swap_in(kv)
+
+        def consumer():
+            yield from manager.wait_ready(kv)
+            return env.now
+
+        finished = env.run(until=env.process(consumer()))
+        assert finished > 2.0
+        assert manager.stats.data_wait > 0
+        assert kv.request_id in manager.stats.per_request_sync
+
+
+class TestMoveList:
+    def test_reclaim_only_completed(self, env):
+        manager = make_manager(env)
+        cache = manager.cpu_cache
+        move_list = MoveList()
+        blocks = cache.alloc("s", 1 * MiB, 4)
+        from repro.transfer import CudaEvent
+
+        pending = CudaEvent(env)
+        pending.recorded = True  # in flight, not complete
+        move_list.add(blocks, pending)
+        assert move_list.reclaim(cache) == 0
+        pending._complete()
+        assert move_list.reclaim(cache) == 4
+
+
+class TestStatsAccounting:
+    def test_counters(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=64)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=1.0)
+        manager.swap_in(kv)
+        env.run(until=2.0)
+        assert manager.stats.swap_out_count == 1
+        assert manager.stats.swap_in_count == 1
+        assert manager.stats.bytes_out == manager.stats.bytes_in == kv.nbytes
+        assert manager.stats.control_overhead > 0

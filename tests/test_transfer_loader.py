@@ -1,0 +1,123 @@
+"""Tests for model-weight loaders (§5.2, Figure 7 right)."""
+
+import pytest
+
+from repro.hardware import pcie_pair
+from repro.memory import HostModelCache
+from repro.models import get_model
+from repro.sim import Environment
+from repro.transfer import CudaStream, NaiveLoader, QuickLoader
+
+GiB = 1024**3
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def link(env):
+    return pcie_pair(env, bandwidth=32e9)
+
+
+@pytest.fixture
+def cache():
+    return HostModelCache(capacity_bytes=640 * GiB)
+
+
+class TestQuickLoader:
+    def test_cached_load_hits_beta_bandwidth(self, env, link, cache):
+        loader = QuickLoader(env, link, cache)
+        model = get_model("Llama-13B")
+        shard = model.weight_bytes // 2  # TP=2 shard, ~13 GB
+        cache.insert(model.name, shard)
+
+        def run():
+            yield from loader.load(model.name, shard)
+            return env.now
+
+        elapsed = env.run(until=env.process(run()))
+        # ~13 GB at 20 GB/s => ~0.65 s ("under one second", Figure 7).
+        assert 0.5 < elapsed < 1.0
+
+    def test_estimate_matches_simulation(self, env, link, cache):
+        loader = QuickLoader(env, link, cache)
+        nbytes = 14 * GiB
+        cache.insert("m", nbytes)
+
+        def run():
+            yield from loader.load("m", nbytes)
+            return env.now
+
+        elapsed = env.run(until=env.process(run()))
+        assert elapsed == pytest.approx(loader.load_time(nbytes), rel=0.05)
+
+    def test_miss_fetches_from_remote(self, env, link, cache):
+        loader = QuickLoader(env, link, cache, remote_bandwidth=1.5e9)
+        nbytes = 15 * GiB
+
+        def run():
+            yield from loader.load("cold-model", nbytes)
+            return env.now
+
+        elapsed = env.run(until=env.process(run()))
+        assert elapsed > nbytes / 1.5e9  # dominated by the registry fetch
+        assert loader.remote_fetches == 1
+        assert cache.contains("cold-model")
+
+    def test_async_load_via_stream(self, env, link, cache):
+        loader = QuickLoader(env, link, cache)
+        nbytes = 10 * GiB
+        cache.insert("m", nbytes)
+        stream = CudaStream(env)
+
+        def run():
+            event = yield from loader.load("m", nbytes, stream=stream)
+            return event
+
+        event = env.run(until=env.process(run()))
+        assert not event.query()  # copies still queued on the stream
+        env.run(until=60.0)
+        assert event.query()
+        assert event.completed_at == pytest.approx(
+            loader.load_time(nbytes), rel=0.1
+        )
+
+    def test_pin_released_after_load(self, env, link, cache):
+        loader = QuickLoader(env, link, cache)
+        cache.insert("m", 1 * GiB)
+
+        def run():
+            yield from loader.load("m", 1 * GiB)
+
+        env.process(run())
+        env.run(until=10.0)
+        cache.pin("m")
+        cache.unpin("m")  # would raise if load leaked a pin imbalance
+
+    def test_invalid_beta_rejected(self, env, link, cache):
+        with pytest.raises(ValueError):
+            QuickLoader(env, link, cache, beta=0.0)
+
+
+class TestNaiveLoader:
+    def test_13b_shard_takes_4_6_seconds(self, env, link):
+        # Figure 7 (right): LLaMA-13B at TP=2 via the naive path takes
+        # ~4.6 s, i.e. 2.83 GB/s.
+        loader = NaiveLoader(env, link)
+        model = get_model("Llama-13B")
+        shard = model.weight_bytes // 2
+
+        def run():
+            yield from loader.load(model.name, shard)
+            return env.now
+
+        elapsed = env.run(until=env.process(run()))
+        assert 4.2 < elapsed < 5.0
+
+    def test_quick_loader_beats_naive_by_factor(self, env, link, cache):
+        quick = QuickLoader(env, link, cache)
+        naive = NaiveLoader(env, link)
+        nbytes = 13 * GiB
+        assert naive.load_time(nbytes) / quick.load_time(nbytes) > 5.0

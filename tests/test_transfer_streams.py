@@ -1,0 +1,144 @@
+"""Tests for simulated CUDA streams and events (§5.3, Table 2)."""
+
+import pytest
+
+from repro.hardware import Link, pcie_pair
+from repro.sim import Environment
+from repro.transfer import CudaEvent, CudaStream, synchronize_all
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def link(env):
+    return Link(env, bandwidth=1e9, latency=0.0)
+
+
+class TestStreamOrdering:
+    def test_ops_execute_in_order(self, env, link):
+        stream = CudaStream(env)
+        finish_times = []
+        stream.copy(link, int(1e9), on_done=lambda: finish_times.append(env.now))
+        stream.compute(2.0, on_done=lambda: finish_times.append(env.now))
+        env.run(until=10.0)
+        assert finish_times == [pytest.approx(1.0), pytest.approx(3.0)]
+
+    def test_separate_streams_overlap_compute(self, env):
+        s1, s2 = CudaStream(env), CudaStream(env)
+        done = []
+        s1.compute(2.0, on_done=lambda: done.append(("s1", env.now)))
+        s2.compute(2.0, on_done=lambda: done.append(("s2", env.now)))
+        env.run(until=5.0)
+        assert [t for _, t in done] == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_same_link_copies_serialize_across_streams(self, env, link):
+        s1, s2 = CudaStream(env), CudaStream(env)
+        done = []
+        s1.copy(link, int(1e9), on_done=lambda: done.append(env.now))
+        s2.copy(link, int(1e9), on_done=lambda: done.append(env.now))
+        env.run(until=5.0)
+        assert sorted(done) == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+class TestEvents:
+    def test_record_and_query(self, env, link):
+        stream = CudaStream(env)
+        event = CudaEvent(env, name="marker")
+        stream.copy(link, int(1e9))
+        stream.record(event)
+        env.run(until=0.5)
+        assert not event.query()
+        env.run(until=2.0)
+        assert event.query()
+        assert event.completed_at == pytest.approx(1.0)
+
+    def test_unrecorded_event_reports_complete(self, env):
+        assert CudaEvent(env).query()
+
+    def test_stream_wait_event(self, env, link):
+        producer = CudaStream(env)
+        consumer = CudaStream(env)
+        event = CudaEvent(env)
+        producer.copy(link, int(2e9))  # finishes at t=2
+        producer.record(event)
+        consumer.wait_event(event)
+        done = []
+        consumer.compute(1.0, on_done=lambda: done.append(env.now))
+        env.run(until=10.0)
+        assert done == [pytest.approx(3.0)]
+
+    def test_host_wait(self, env, link):
+        stream = CudaStream(env)
+        event = CudaEvent(env)
+        stream.copy(link, int(1e9))
+        stream.record(event)
+        log = []
+
+        def host():
+            yield event.wait()
+            log.append(env.now)
+
+        env.process(host())
+        env.run(until=5.0)
+        assert log == [pytest.approx(1.0)]
+
+    def test_wait_on_completed_event_is_immediate(self, env):
+        event = CudaEvent(env)
+        log = []
+
+        def host():
+            yield event.wait()
+            log.append(env.now)
+
+        env.process(host())
+        env.run(until=1.0)
+        assert log == [0.0]
+
+    def test_ipc_handles(self, env):
+        event = CudaEvent(env, name="shared")
+        handle = event.ipc_handle()
+        assert CudaEvent.from_ipc_handle(handle) is event
+        with pytest.raises(ValueError):
+            CudaEvent.from_ipc_handle(999_999_999)
+
+
+class TestSynchronize:
+    def test_stream_synchronize(self, env, link):
+        stream = CudaStream(env)
+        stream.copy(link, int(3e9))
+        log = []
+
+        def host():
+            yield stream.synchronize()
+            log.append(env.now)
+
+        env.process(host())
+        env.run(until=10.0)
+        assert log == [pytest.approx(3.0)]
+
+    def test_synchronize_all_waits_for_slowest(self, env):
+        duplex = pcie_pair(env, bandwidth=1e9)
+        s1, s2 = CudaStream(env), CudaStream(env)
+        s1.copy(duplex.h2d, int(1e9))
+        s2.copy(duplex.d2h, int(4e9))
+        log = []
+
+        def host():
+            yield synchronize_all(env, [s1, s2])
+            log.append(env.now)
+
+        env.process(host())
+        env.run(until=10.0)
+        assert log == [pytest.approx(4.0, rel=1e-3)]
+
+    def test_pending_ops_counter(self, env, link):
+        stream = CudaStream(env)
+        stream.copy(link, int(1e9))
+        stream.copy(link, int(1e9))
+        assert stream.pending_ops == 2
+        env.run(until=5.0)
+        assert stream.pending_ops == 0
+        assert stream.ops_executed == 2

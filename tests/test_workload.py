@@ -1,0 +1,161 @@
+"""Tests for workload synthesis: arrivals, datasets, market skew, traces."""
+
+import numpy as np
+import pytest
+
+from repro.models import market_mix
+from repro.workload import (
+    BurstConfig,
+    PRODUCTION_SHAPE,
+    bursty_arrivals,
+    deployment_rates,
+    market_rates,
+    poisson_arrivals,
+    rate_series,
+    request_share_cdf,
+    sharegpt,
+    sharegpt_ix2,
+    sharegpt_ox2,
+    synthesize_trace,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestPoisson:
+    def test_mean_count(self, rng):
+        arrivals = poisson_arrivals(rate=2.0, horizon=5000.0, rng=rng)
+        assert len(arrivals) == pytest.approx(10000, rel=0.05)
+
+    def test_sorted(self, rng):
+        arrivals = poisson_arrivals(rate=1.0, horizon=100.0, rng=rng)
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_within_horizon(self, rng):
+        arrivals = poisson_arrivals(rate=1.0, horizon=50.0, rng=rng)
+        assert arrivals.min() >= 0 and arrivals.max() < 50.0
+
+    def test_zero_rate(self, rng):
+        assert len(poisson_arrivals(0.0, 100.0, rng)) == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 100.0, rng)
+
+    def test_exponential_gaps(self, rng):
+        arrivals = poisson_arrivals(rate=1.0, horizon=20000.0, rng=rng)
+        gaps = np.diff(arrivals)
+        # Mean gap ~ 1/rate; CV ~ 1 for exponential.
+        assert np.mean(gaps) == pytest.approx(1.0, rel=0.05)
+        assert np.std(gaps) / np.mean(gaps) == pytest.approx(1.0, rel=0.1)
+
+
+class TestBursty:
+    def test_rate_above_base(self, rng):
+        base = 600.0
+        arrivals = bursty_arrivals(base, horizon=600.0, rng=rng)
+        achieved = len(arrivals) / 600.0
+        assert achieved >= base * 0.95
+
+    def test_bursts_exceed_reservation(self, rng):
+        # Figure 1(b): windows during bursts exceed the base rate.
+        base = 600.0
+        config = BurstConfig(episode_rate=1 / 60.0, episode_duration=30.0, multiplier=1.5)
+        arrivals = bursty_arrivals(base, horizon=600.0, rng=rng, burst=config)
+        _, rates = rate_series(arrivals, horizon=600.0, window=10.0)
+        assert rates.max() > base * 1.15
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            BurstConfig(multiplier=0.5)
+
+
+class TestShareGpt:
+    def test_lengths_positive_and_bounded(self, rng):
+        for sample in sharegpt().sample(rng, 1000):
+            assert 4 <= sample.input_tokens <= 8192
+            assert 4 <= sample.output_tokens <= 2048
+
+    def test_ix2_doubles_input(self, rng):
+        base_in, base_out = sharegpt().mean_lengths(rng, 20000)
+        rng2 = np.random.default_rng(7)
+        ix2_in, ix2_out = sharegpt_ix2().mean_lengths(rng2, 20000)
+        assert ix2_in == pytest.approx(2 * base_in, rel=0.1)
+        assert ix2_out == pytest.approx(base_out, rel=0.1)
+
+    def test_ox2_doubles_output(self, rng):
+        base_in, base_out = sharegpt().mean_lengths(rng, 20000)
+        rng2 = np.random.default_rng(7)
+        ox2_in, ox2_out = sharegpt_ox2().mean_lengths(rng2, 20000)
+        assert ox2_out > 1.5 * base_out  # clipping damps the tail
+        assert ox2_in == pytest.approx(base_in, rel=0.1)
+
+    def test_heavy_tail(self, rng):
+        lengths = [s.input_tokens for s in sharegpt().sample(rng, 20000)]
+        assert np.mean(lengths) > np.median(lengths)  # right-skewed
+
+
+class TestMarket:
+    def test_figure_1a_statistics(self):
+        rates = market_rates(PRODUCTION_SHAPE)
+        assert len(rates) == 779
+        tail_count = round(779 * 0.941)
+        tail_share = rates[-tail_count:].sum() / rates.sum()
+        assert tail_share == pytest.approx(0.0135, rel=0.01)
+
+    def test_rates_sorted_descending(self):
+        rates = market_rates()
+        assert np.all(np.diff(rates[: round(779 * 0.059)]) <= 0)
+
+    def test_cdf_monotone(self):
+        model_fraction, request_fraction = request_share_cdf(market_rates())
+        assert np.all(np.diff(request_fraction) >= 0)
+        assert request_fraction[-1] == pytest.approx(1.0)
+        assert model_fraction[-1] == pytest.approx(1.0)
+
+    def test_deployment_rates_statistics(self, rng):
+        rates = deployment_rates(47, rng)
+        assert rates.min() >= 0.01
+        assert rates.max() <= 1.13
+        assert rates.mean() == pytest.approx(0.037, abs=0.01)
+
+
+class TestTrace:
+    def test_synthesis_counts(self, rng):
+        models = market_mix(4)
+        trace = synthesize_trace(models, [0.5] * 4, sharegpt(), horizon=500.0, seed=1)
+        assert trace.total_rate == pytest.approx(2.0, rel=0.15)
+
+    def test_chronological_ids(self):
+        models = market_mix(3)
+        trace = synthesize_trace(models, [0.2] * 3, sharegpt(), horizon=200.0, seed=2)
+        arrivals = [r.arrival for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace.requests] == list(range(len(trace)))
+
+    def test_per_model_counts_cover_all(self):
+        models = market_mix(5)
+        trace = synthesize_trace(models, [0.1] * 5, sharegpt(), horizon=300.0, seed=3)
+        counts = trace.per_model_counts()
+        assert set(counts) == {spec.name for spec in models}
+        assert sum(counts.values()) == len(trace)
+
+    def test_rate_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_trace(market_mix(3), [0.1] * 2, sharegpt(), horizon=10.0)
+
+    def test_spec_lookup(self):
+        models = market_mix(2)
+        trace = synthesize_trace(models, [0.5, 0.5], sharegpt(), horizon=100.0)
+        assert trace.spec_of(models[0].name) == models[0]
+        with pytest.raises(KeyError):
+            trace.spec_of("missing")
+
+    def test_deterministic_given_seed(self):
+        models = market_mix(2)
+        t1 = synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
+        t2 = synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
+        assert t1.requests == t2.requests
