@@ -3,23 +3,34 @@
 Every benchmark regenerates the rows/series of one paper table or
 figure.  Full-paper scale (80 models x 0.5 RPS for long horizons) is
 CPU-minutes in pure Python, so benches default to a reduced horizon and
-a trimmed parameter grid, printing exactly what they ran.  Environment
-overrides:
+a trimmed parameter grid, printing exactly what they ran.  Run-level
+knobs resolve through :class:`repro.core.RunSettings`:
 
 * ``REPRO_BENCH_HORIZON`` — simulated seconds of trace (default 150)
 * ``REPRO_BENCH_SCALE``   — multiplies the parameter grids (default 1.0)
+* ``REPRO_BENCH_SEED``    — workload seed (default 2025)
+* ``REPRO_OBS``           — observability level (off | metrics | full)
+
+Systems are constructed through :func:`repro.core.build_system`, so every
+bench exercises the same :class:`repro.core.ServingSystem` surface the
+examples and tests use.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Callable, Sequence
 
+from repro.core import (
+    AegaeonConfig,
+    DEFAULT_SLO,
+    MuxServeConfig,
+    RunSettings,
+    ServerlessLLMConfig,
+    SloSpec,
+    build_system,
+)
 from repro.analysis import ServingResult
-from repro.baselines import MuxServe, ServerlessLLM, ServerlessLLMPlus
-from repro.core import AegaeonConfig, AegaeonServer, DEFAULT_SLO, SloSpec
 from repro.engine import EngineConfig
-from repro.hardware import Cluster
 from repro.models import market_mix
 from repro.sim import Environment
 from repro.workload import Dataset, sharegpt, synthesize_trace
@@ -27,6 +38,7 @@ from repro.workload import Dataset, sharegpt, synthesize_trace
 __all__ = [
     "bench_horizon",
     "bench_scale",
+    "bench_settings",
     "make_trace",
     "run_system",
     "SYSTEMS",
@@ -37,18 +49,23 @@ DEFAULT_HORIZON = 150.0
 SEED = 2025
 
 
+def bench_settings() -> RunSettings:
+    """The run-level knobs resolved from the environment."""
+    return RunSettings.from_env()
+
+
 def bench_horizon() -> float:
     """Simulated trace horizon for serving benches."""
-    return float(os.environ.get("REPRO_BENCH_HORIZON", DEFAULT_HORIZON))
+    return bench_settings().horizon
 
 
 def bench_scale() -> float:
     """Grid scale factor (1.0 = default trimmed grids)."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    return bench_settings().scale
 
 
 def default_seed() -> int:
-    return SEED
+    return bench_settings().seed
 
 
 def make_trace(
@@ -67,28 +84,34 @@ def make_trace(
 
 def aegaeon_factory(slo: SloSpec = DEFAULT_SLO, engine: EngineConfig = EngineConfig()):
     def build(env: Environment):
-        return AegaeonServer.paper_testbed(env, slo=slo, engine=engine)
+        config = AegaeonConfig(
+            engine=engine, slo=slo, obs=bench_settings().obs
+        )
+        return build_system("aegaeon", env, config)
 
     return build
 
 
 def sllm_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
-        return ServerlessLLM(env, Cluster.testbed(env), slo=slo)
+        config = ServerlessLLMConfig(slo=slo, obs=bench_settings().obs)
+        return build_system("serverless-llm", env, config)
 
     return build
 
 
 def sllm_plus_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
-        return ServerlessLLMPlus(env, Cluster.testbed(env), slo=slo)
+        config = ServerlessLLMConfig(slo=slo, obs=bench_settings().obs)
+        return build_system("serverless-llm+", env, config)
 
     return build
 
 
 def muxserve_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
-        return MuxServe(env, Cluster.testbed(env), slo=slo)
+        config = MuxServeConfig(slo=slo, obs=bench_settings().obs)
+        return build_system("muxserve", env, config)
 
     return build
 

@@ -1,8 +1,12 @@
 """Quickstart: serve many models on a small GPU pool with Aegaeon.
 
-Builds a 4-GPU cluster, pools it between twelve 6-14B models with
-token-level auto-scaling, replays a synthetic market workload, and
-prints per-token SLO attainment plus auto-scaling statistics.
+Builds Aegaeon on a 4-GPU cluster through the unified
+``build_system()`` factory, pools it between twelve 6-14B models with
+token-level auto-scaling, replays a synthetic market workload with full
+observability on, and prints per-token SLO attainment, auto-scaling
+statistics, and the per-stage model-switch breakdown rebuilt from the
+trace.  It also writes a Chrome ``trace_event`` timeline you can open
+at chrome://tracing or https://ui.perfetto.dev.
 
 Run:  python examples/quickstart.py
 """
@@ -10,38 +14,40 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import AegaeonConfig, AegaeonServer
+from repro.core import AegaeonConfig, build_system
 from repro.engine import EngineConfig
-from repro.hardware import Cluster, H800
 from repro.models import market_mix
+from repro.obs import ObsConfig, format_switch_breakdown, write_chrome_trace
 from repro.sim import Environment
 from repro.workload import sharegpt, synthesize_trace
 
+TRACE_PATH = "quickstart_trace.json"
+
 
 def main() -> None:
-    # 1. A simulated cluster: one node with four H800 GPUs.
+    # 1. Aegaeon on a simulated 4-GPU node: one prefill instance, three
+    #    decoding instances, all §5 optimizations on, full tracing.
     env = Environment()
-    cluster = Cluster.homogeneous(env, H800, node_count=1, gpus_per_node=4)
-
-    # 2. Aegaeon on top: one prefill instance, three decoding instances.
-    server = AegaeonServer(
+    server = build_system(
+        "aegaeon",
         env,
-        cluster,
         AegaeonConfig(
             prefill_instances=1,
             decode_instances=3,
-            engine=EngineConfig(),  # all §5 optimizations on
+            engine=EngineConfig(),
+            cluster="h800-quad",
+            obs=ObsConfig.full(),
         ),
     )
 
-    # 3. A workload: twelve models, sporadic arrivals, ShareGPT lengths.
+    # 2. A workload: twelve models, sporadic arrivals, ShareGPT lengths.
     models = market_mix(12)
     trace = synthesize_trace(
         models, rates=[0.08] * len(models), dataset=sharegpt(), horizon=120.0, seed=7
     )
-    print(f"Serving {len(models)} models / {len(trace)} requests on {len(cluster)} GPUs...")
+    print(f"Serving {len(models)} models / {len(trace)} requests on {server.gpu_count} GPUs...")
 
-    # 4. Serve and report.
+    # 3. Serve and report.
     result = server.serve(trace)
     print()
     print(
@@ -51,7 +57,7 @@ def main() -> None:
                 ("requests finished", f"{result.finished_requests}/{len(trace)}"),
                 ("SLO attainment", f"{result.slo_attainment():.1%}"),
                 ("mean TTFT", f"{result.summary()['mean_ttft']:.2f} s"),
-                ("models per GPU", f"{len(models) / len(cluster):.1f}"),
+                ("models per GPU", f"{len(models) / server.gpu_count:.1f}"),
             ],
             title="Quickstart results",
         )
@@ -62,6 +68,12 @@ def main() -> None:
         f"{np.median(latencies):.2f} s, near-instant (prefetch) "
         f"{np.mean(latencies < 0.25):.0%}"
     )
+
+    # 4. The observability layer: per-stage switch breakdown + timeline.
+    print()
+    print(format_switch_breakdown(result.obs.tracer))
+    write_chrome_trace(result.obs.tracer, TRACE_PATH)
+    print(f"\ntimeline written to {TRACE_PATH} (open in chrome://tracing)")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,13 @@ from .active_models import (
 )
 from .metrics import LatencyBreakdown, ServingResult, goodput_frontier
 from .planner import DEFAULT_CANDIDATES, PoolPlan, plan_pool
-from .reporting import format_cdf, format_series, format_table, percentiles
+from .reporting import (
+    format_cdf,
+    format_run_summary,
+    format_series,
+    format_table,
+    percentiles,
+)
 
 __all__ = [
     "DEFAULT_CANDIDATES",
@@ -16,6 +22,7 @@ __all__ = [
     "ServingResult",
     "expected_active_models",
     "format_cdf",
+    "format_run_summary",
     "format_series",
     "format_table",
     "goodput_frontier",

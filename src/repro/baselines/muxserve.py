@@ -25,6 +25,7 @@ from ..hardware.cluster import Cluster
 from ..hardware.gpu import GpuSpec
 from ..models.catalog import ModelSpec
 from ..models.latency import LatencyModel
+from ..obs import ObsConfig, Observability
 from ..sim import Environment, Event
 from ..workload.trace import Trace
 from .base import BaselineServer
@@ -226,8 +227,9 @@ class MuxServe(BaselineServer):
         tp: int = 1,
         slo: SloSpec = DEFAULT_SLO,
         max_batch_size: int = 32,
+        obs: Optional[ObsConfig | Observability] = None,
     ):
-        super().__init__(env, slo)
+        super().__init__(env, slo, obs=obs)
         self.cluster = cluster
         self.tp = tp
         self.max_batch_size = max_batch_size
@@ -290,8 +292,9 @@ class DedicatedServing(BaselineServer):
         tp: int = 1,
         slo: SloSpec = DEFAULT_SLO,
         max_batch_size: int = 32,
+        obs: Optional[ObsConfig | Observability] = None,
     ):
-        super().__init__(env, slo)
+        super().__init__(env, slo, obs=obs)
         self.gpu_spec = gpu_spec
         self.tp = tp
         self.max_batch_size = max_batch_size

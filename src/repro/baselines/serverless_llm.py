@@ -20,12 +20,13 @@ from typing import Generator, Optional
 from ..core.slo import DEFAULT_SLO, SloSpec
 from ..engine.batching import BatchingPolicy, ContinuousBatcher
 from ..engine.block_manager import BlockManager
-from ..engine.engine import AegaeonEngine, EngineConfig, ScaleRecord
+from ..engine.engine import AegaeonEngine, EngineConfig
 from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
 from ..models.catalog import ModelSpec
+from ..obs import ObsConfig, Observability
 from ..sim import Environment, Event
 from ..workload.trace import Trace
 from .base import BaselineServer
@@ -211,17 +212,22 @@ class ServerlessLLM(BaselineServer):
         slo: SloSpec = DEFAULT_SLO,
         max_batch_size: int = 32,
         model_cache_bytes: int = 1280 * GiB,
+        obs: Optional[ObsConfig | Observability] = None,
     ):
-        super().__init__(env, slo)
+        super().__init__(env, slo, obs=obs)
         self.max_batch_size = max_batch_size
         available = len(cluster.gpus) // tp
         count = available if instance_count is None else instance_count
         if count > available:
             raise ValueError(f"cluster supports {available} TP={tp} instances")
-        self.model_cache = HostModelCache(model_cache_bytes)
+        self.model_cache = HostModelCache(
+            model_cache_bytes, name="model_cache", obs=self.obs
+        )
         # ServerlessLLM holds no cross-model unified KV cache; engines
         # get a token-sized CPU pool purely to satisfy the engine API.
-        cpu_kv = SlabAllocator(region_bytes=GiB, slab_bytes=64 * 1024**2)
+        cpu_kv = SlabAllocator(
+            region_bytes=GiB, slab_bytes=64 * 1024**2, name="cpu_kv", obs=self.obs
+        )
         vram = cluster.gpus[0].spec.vram_bytes
         weight_buffer = min(30 * GiB, int(vram * 0.9) - 8 * GiB)
         engine_config = EngineConfig(
@@ -243,6 +249,7 @@ class ServerlessLLM(BaselineServer):
                 config=engine_config,
                 name=f"sllm{index}",
                 pre_initialized=True,
+                obs=self.obs,
             )
             self.instances.append(
                 _ServerlessInstance(env, engine, self, name=f"sllm{index}")
@@ -278,12 +285,9 @@ class ServerlessLLM(BaselineServer):
                 spec.name, spec.weight_bytes // max(1, self.instances[0].engine.config.tp)
             )
 
-    def scale_records(self) -> list[ScaleRecord]:
-        return [
-            record
-            for instance in self.instances
-            for record in instance.engine.scale_history
-        ]
+    def engines(self) -> list[AegaeonEngine]:
+        """Every per-instance engine (for scaling/transfer stats)."""
+        return [instance.engine for instance in self.instances]
 
 
 class ServerlessLLMPlus(ServerlessLLM):

@@ -1,4 +1,4 @@
-"""Aegaeon core: token-level scheduling, instances, and the server."""
+"""Aegaeon core: token-level scheduling, instances, and the serving API."""
 
 from .decode_sched import (
     BatchedDecodeScheduler,
@@ -16,31 +16,55 @@ from .prefill_sched import (
 )
 from .proxy import ProxyLayer, StatusRegistry
 from .server import AegaeonConfig, AegaeonServer
+from .serving import (
+    BaselineServer,
+    MuxServeConfig,
+    RunSettings,
+    ServerlessLLMConfig,
+    ServingSystem,
+    ServingSystemBase,
+    SystemConfig,
+    UnifiedConfig,
+    available_systems,
+    build_system,
+    resolve_cluster,
+)
 from .slo import DEFAULT_SLO, SloSpec, token_deadlines, tokens_met
 from .unified import DECODE_FIRST, PREFILL_FIRST, UnifiedInstance, UnifiedServer
 
 __all__ = [
     "AegaeonConfig",
     "AegaeonServer",
+    "BaselineServer",
     "BatchedDecodeScheduler",
     "DEFAULT_SLO",
     "DecodeBatch",
     "DecodeInstance",
     "GroupedPrefillScheduler",
     "MAX_GPSIZE",
+    "MuxServeConfig",
     "PrefillGroup",
     "PrefillInstance",
     "ProxyLayer",
     "QMAX",
+    "RunSettings",
+    "ServerlessLLMConfig",
+    "ServingSystem",
+    "ServingSystemBase",
     "SloSpec",
     "StatusRegistry",
+    "SystemConfig",
+    "UnifiedConfig",
     "DECODE_FIRST",
     "PREFILL_FIRST",
     "UnifiedInstance",
     "UnifiedServer",
+    "available_systems",
+    "build_system",
     "compute_quotas",
     "estimate_round_attainment",
     "reorder_work_list",
+    "resolve_cluster",
     "token_deadlines",
     "tokens_met",
 ]

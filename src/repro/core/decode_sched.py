@@ -22,6 +22,7 @@ from typing import Optional, Protocol
 
 from ..engine.request import Request
 from ..models.catalog import ModelSpec
+from ..obs import NULL_OBS, Observability
 from .slo import SloSpec
 
 __all__ = [
@@ -81,10 +82,18 @@ class DecodeInstanceLike(Protocol):
 class BatchedDecodeScheduler:
     """Algorithm 2's dispatch side: place prefilled requests in batches."""
 
-    def __init__(self, instances: list[DecodeInstanceLike]):
+    def __init__(
+        self,
+        instances: list[DecodeInstanceLike],
+        obs: Observability = NULL_OBS,
+    ):
         if not instances:
             raise ValueError("need at least one decode instance")
         self.instances = instances
+        self._tracer = obs.tracer
+        scope = obs.scoped("decode_sched")
+        self._joined_counter = scope.counter("batches_joined")
+        self._opened_counter = scope.counter("batches_opened")
 
     def dispatch(self, request: Request) -> DecodeInstanceLike:
         """Place a prefilled request; returns the chosen instance."""
@@ -94,6 +103,8 @@ class BatchedDecodeScheduler:
                 if batch.spec.name == request.spec.name and batch.has_room:
                     batch.requests.append(request)
                     instance.kick()
+                    self._joined_counter.inc()
+                    self._note_dispatch(request, "join")
                     return instance
         # Otherwise open a batch on the least-loaded instance, where
         # load is the work-list size (Algorithm 2, line 2).
@@ -105,7 +116,17 @@ class BatchedDecodeScheduler:
         )
         target.work_list.append(batch)
         target.kick()
+        self._opened_counter.inc()
+        self._note_dispatch(request, "open")
         return target
+
+    def _note_dispatch(self, request: Request, decision: str) -> None:
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "decode_dispatch", cat="sched", track="decode_sched",
+                request_id=request.request_id, model=request.model,
+                decision=decision,
+            )
 
 
 def reorder_work_list(work_list: list[DecodeBatch]) -> list[DecodeBatch]:

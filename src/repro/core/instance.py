@@ -20,6 +20,7 @@ from ..engine.engine import AegaeonEngine
 from ..engine.request import Phase, Request
 from ..models.catalog import ModelSpec
 from ..models.kv import kv_shape
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment, Event
 from ..transfer.kv_transfer import RequestKv
 from .decode_sched import (
@@ -50,6 +51,7 @@ class PrefillInstance:
         engine: AegaeonEngine,
         on_prefilled: Callable[[Request], None],
         name: str = "prefill",
+        obs: Observability = NULL_OBS,
     ):
         self.env = env
         self.engine = engine
@@ -57,6 +59,11 @@ class PrefillInstance:
         self.name = name
         self.groups: list[PrefillGroup] = []
         self._wake: Optional[Event] = None
+        self._tracer = obs.tracer
+        if obs.enabled:
+            obs.scoped(name).gauge("queued_requests").set_fn(
+                lambda: sum(len(group.requests) for group in self.groups)
+            )
         self.process = env.process(self._run())
 
     # -- scheduler interface (PrefillInstanceLike) ---------------------------
@@ -103,6 +110,13 @@ class PrefillInstance:
         self._wake = None
 
     def _execute(self, spec: ModelSpec, request: Request) -> Generator:
+        with self._tracer.span(
+            "prefill_job", cat="lifecycle", track=self.name,
+            request_id=request.request_id, model=request.model,
+        ):
+            yield from self._execute_inner(spec, request)
+
+    def _execute_inner(self, spec: ModelSpec, request: Request) -> Generator:
         if (
             self.engine.current_model is None
             or self.engine.current_model.name != spec.name
@@ -164,6 +178,7 @@ class DecodeInstance:
         name: str = "decode",
         max_batch_size: int = 32,
         qmax: float = QMAX,
+        obs: Observability = NULL_OBS,
     ):
         self.env = env
         self.engine = engine
@@ -176,6 +191,15 @@ class DecodeInstance:
         self._wake: Optional[Event] = None
         self.rounds = 0
         self.turns = 0
+        self._tracer = obs.tracer
+        scope = obs.scoped(name)
+        self._round_counter = scope.counter("rounds")
+        self._turn_counter = scope.counter("turns")
+        if obs.enabled:
+            scope.gauge("work_list_batches").set_fn(lambda: len(self.work_list))
+            scope.gauge("queued_requests").set_fn(
+                lambda: sum(batch.size for batch in self.work_list)
+            )
         self.process = env.process(self._run())
 
     # -- scheduler interface (DecodeInstanceLike) ---------------------------
@@ -213,6 +237,7 @@ class DecodeInstance:
     def _round(self) -> Generator:
         """One full rotation of the work list (Algorithm 2, lines 4-11)."""
         self.rounds += 1
+        self._round_counter.inc()
         self.work_list[:] = reorder_work_list(self.work_list)
         batches = list(self.work_list)
         step_times = [
@@ -223,24 +248,32 @@ class DecodeInstance:
         ]
         switch_cost = self._round_switch_cost(batches)
         quotas = compute_quotas(batches, step_times, switch_cost, self.slo, self.qmax)
-        for index, (batch, quota) in enumerate(zip(batches, quotas)):
-            if batch.exhausted:
-                continue
-            self.turns += 1
-            if (
-                self.engine.current_model is None
-                or self.engine.current_model.name != batch.spec.name
-            ):
-                yield from self.engine.scale_to(batch.spec)
-            self._prefetch_after(batch)
-            yield from self._swap_in_batch(batch)
-            # Figure 10's overlap: while this turn decodes, the *next*
-            # batch's KV streams in on the kv_in stream, guarded by
-            # per-request events — by its turn, rule ❶ is already met.
-            self._issue_swap_in_async(batches, index)
-            yield from self._decode_for(batch, quota)
-            if self._distinct_models() > 1:
-                yield from self._swap_out_batch(batch)
+        with self._tracer.span(
+            "decode_round", cat="sched", track=self.name, batches=len(batches)
+        ):
+            for index, (batch, quota) in enumerate(zip(batches, quotas)):
+                if batch.exhausted:
+                    continue
+                self.turns += 1
+                self._turn_counter.inc()
+                with self._tracer.span(
+                    "decode_turn", cat="sched", track=self.name,
+                    model=batch.spec.name, quota=quota, batch=batch.size,
+                ):
+                    if (
+                        self.engine.current_model is None
+                        or self.engine.current_model.name != batch.spec.name
+                    ):
+                        yield from self.engine.scale_to(batch.spec)
+                    self._prefetch_after(batch)
+                    yield from self._swap_in_batch(batch)
+                    # Figure 10's overlap: while this turn decodes, the *next*
+                    # batch's KV streams in on the kv_in stream, guarded by
+                    # per-request events — by its turn, rule ❶ is already met.
+                    self._issue_swap_in_async(batches, index)
+                    yield from self._decode_for(batch, quota)
+                    if self._distinct_models() > 1:
+                        yield from self._swap_out_batch(batch)
         self._prune()
 
     def _issue_swap_in_async(self, batches: list[DecodeBatch], index: int) -> None:

@@ -20,6 +20,7 @@ from typing import Optional, Protocol
 
 from ..engine.request import Request
 from ..models.catalog import ModelSpec
+from ..obs import NULL_OBS, Observability
 
 __all__ = ["MAX_GPSIZE", "PrefillGroup", "PrefillInstanceLike", "GroupedPrefillScheduler"]
 
@@ -66,13 +67,22 @@ class PrefillInstanceLike(Protocol):
 class GroupedPrefillScheduler:
     """Algorithm 1: grouped FCFS dispatch across prefill instances."""
 
-    def __init__(self, instances: list[PrefillInstanceLike], max_group_size: int = MAX_GPSIZE):
+    def __init__(
+        self,
+        instances: list[PrefillInstanceLike],
+        max_group_size: int = MAX_GPSIZE,
+        obs: Observability = NULL_OBS,
+    ):
         if not instances:
             raise ValueError("need at least one prefill instance")
         if max_group_size <= 0:
             raise ValueError("max_group_size must be positive")
         self.instances = instances
         self.max_group_size = max_group_size
+        self._tracer = obs.tracer
+        scope = obs.scoped("prefill_sched")
+        self._joined_counter = scope.counter("groups_joined")
+        self._opened_counter = scope.counter("groups_opened")
 
     def dispatch(self, request: Request) -> PrefillInstanceLike:
         """Place one request; returns the instance that received it."""
@@ -85,6 +95,8 @@ class GroupedPrefillScheduler:
                 ):
                     group.add(request)
                     instance.kick()
+                    self._joined_counter.inc()
+                    self._note_dispatch(request, "join")
                     return instance
         # Lines 9-13: open a new group on the least-loaded instance.
         target = min(self.instances, key=self.estimate_load)
@@ -92,7 +104,17 @@ class GroupedPrefillScheduler:
         group.add(request)
         target.groups.append(group)
         target.kick()
+        self._opened_counter.inc()
+        self._note_dispatch(request, "open")
         return target
+
+    def _note_dispatch(self, request: Request, decision: str) -> None:
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "prefill_dispatch", cat="sched", track="prefill_sched",
+                request_id=request.request_id, model=request.model,
+                decision=decision,
+            )
 
     def estimate_load(self, instance: PrefillInstanceLike) -> float:
         """Time to finish all pending groups: execution + auto-scaling."""

@@ -2,8 +2,11 @@
 
 :class:`AegaeonServer` wires the whole stack together on a simulated
 cluster: per-node host caches, prefill/decoding engines and instances,
-the two token-level schedulers, and the proxy layer.  ``serve(trace)``
-replays a workload and returns a :class:`~repro.analysis.metrics.ServingResult`.
+the two token-level schedulers, and the proxy layer.  It speaks the same
+:class:`~repro.core.serving.ServingSystem` protocol as every baseline —
+``serve(trace)`` replays a workload and returns a
+:class:`~repro.analysis.metrics.ServingResult` — and threads one
+:class:`~repro.obs.Observability` through every component it builds.
 
 One simplification versus the production deployment: the unified CPU KV
 cache and the model cache are cluster-wide objects rather than per-node
@@ -14,7 +17,7 @@ see DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..engine.engine import AegaeonEngine, EngineConfig
 from ..engine.request import Request
@@ -22,13 +25,14 @@ from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
 from ..models.catalog import ModelSpec
+from ..obs import ObsConfig
 from ..sim import Environment
 from ..transfer.kv_transfer import MoveList
 from ..workload.trace import Trace
 from .decode_sched import BatchedDecodeScheduler
 from .instance import DecodeInstance, PrefillInstance
 from .prefill_sched import GroupedPrefillScheduler
-from .proxy import ProxyLayer, StatusRegistry
+from .serving import ServingSystemBase
 from .slo import DEFAULT_SLO, SloSpec
 
 __all__ = ["AegaeonConfig", "AegaeonServer"]
@@ -38,7 +42,7 @@ GiB = 1024**3
 
 @dataclass(frozen=True)
 class AegaeonConfig:
-    """Deployment shape and engine features for one Aegaeon pool."""
+    """Deployment shape, engine features, and observability for one pool."""
 
     prefill_instances: int = 6
     decode_instances: int = 10
@@ -49,30 +53,40 @@ class AegaeonConfig:
     cpu_slab_bytes: int = 256 * 1024**2
     max_batch_size: int = 32
     drain_grace: float = 300.0  # extra sim time after the last arrival
+    cluster: str = "testbed"  # preset used by build_system()
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     @property
     def gpus_needed(self) -> int:
+        """GPUs this deployment shape occupies."""
         return (self.prefill_instances + self.decode_instances) * self.engine.tp
 
 
-class AegaeonServer:
+class AegaeonServer(ServingSystemBase):
     """Aegaeon on a cluster: instances, schedulers, proxy."""
+
+    label = "Aegaeon"
 
     def __init__(self, env: Environment, cluster: Cluster, config: AegaeonConfig = AegaeonConfig()):
         if config.gpus_needed > len(cluster.gpus):
             raise ValueError(
                 f"config needs {config.gpus_needed} GPUs, cluster has {len(cluster.gpus)}"
             )
-        self.env = env
+        super().__init__(
+            env, slo=config.slo, drain_grace=config.drain_grace, obs=config.obs
+        )
         self.cluster = cluster
         self.config = config
-        self.registry = StatusRegistry()
-        self.model_cache = HostModelCache(config.model_cache_bytes)
+        self.gpu_count = config.gpus_needed
+        self._warm_on_prepare = True
+        self.model_cache = HostModelCache(
+            config.model_cache_bytes, name="model_cache", obs=self.obs
+        )
         self.cpu_kv_cache = SlabAllocator(
-            config.cpu_kv_cache_bytes, config.cpu_slab_bytes
+            config.cpu_kv_cache_bytes, config.cpu_slab_bytes,
+            name="cpu_kv", obs=self.obs,
         )
         self.move_list = MoveList()
-        self.finished: list[Request] = []
 
         tp = config.engine.tp
         gpus = cluster.gpus
@@ -92,10 +106,12 @@ class AegaeonServer:
                 config=config.engine,
                 name=f"prefill{index}",
                 pre_initialized=True,
+                obs=self.obs,
             )
             self.prefill_instances.append(
                 PrefillInstance(
-                    env, engine, self._on_prefilled, name=f"prefill{index}"
+                    env, engine, self._on_prefilled, name=f"prefill{index}",
+                    obs=self.obs,
                 )
             )
         for index in range(config.decode_instances):
@@ -111,32 +127,41 @@ class AegaeonServer:
                 config=config.engine,
                 name=f"decode{index}",
                 pre_initialized=True,
+                obs=self.obs,
             )
             self.decode_instances.append(
                 DecodeInstance(
                     env,
                     engine,
                     config.slo,
-                    self._on_finished,
+                    self.note_finished,
                     name=f"decode{index}",
                     max_batch_size=config.max_batch_size,
+                    obs=self.obs,
                 )
             )
-        self.prefill_scheduler = GroupedPrefillScheduler(self.prefill_instances)
-        self.decode_scheduler = BatchedDecodeScheduler(self.decode_instances)
-        self.proxy = ProxyLayer(env, self._on_arrival, self.registry)
+        self.prefill_scheduler = GroupedPrefillScheduler(
+            self.prefill_instances, obs=self.obs
+        )
+        self.decode_scheduler = BatchedDecodeScheduler(
+            self.decode_instances, obs=self.obs
+        )
 
     # -- plumbing -----------------------------------------------------------
-    def _on_arrival(self, request: Request) -> None:
+    def dispatch(self, request: Request) -> None:
+        """Route one arriving request into the prefill phase."""
         self.prefill_scheduler.dispatch(request)
 
     def _on_prefilled(self, request: Request) -> None:
         self.registry.update(request)
         self.decode_scheduler.dispatch(request)
 
-    def _on_finished(self, request: Request) -> None:
-        self.registry.update(request)
-        self.finished.append(request)
+    def engines(self) -> list[AegaeonEngine]:
+        """Every engine in the pool, prefill partition first."""
+        return [
+            instance.engine
+            for instance in [*self.prefill_instances, *self.decode_instances]
+        ]
 
     # -- operation -----------------------------------------------------------
     def warm(self, models: list[ModelSpec]) -> None:
@@ -145,43 +170,15 @@ class AegaeonServer:
         for spec in models:
             self.model_cache.insert(spec.name, spec.weight_bytes // tp)
 
-    def serve(self, trace: Trace, warm: bool = True) -> "ServingResult":
-        """Replay ``trace`` to completion (or the drain deadline)."""
-        if warm:
+    def prepare(self, trace: Trace) -> None:
+        """Warm the model cache unless ``serve(..., warm=False)`` asked not to."""
+        if self._warm_on_prepare:
             self.warm(list(trace.models))
-        self.env.process(self.proxy.replay(trace))
-        deadline = trace.horizon + self.config.drain_grace
 
-        def watchdog():
-            while len(self.finished) < len(trace.requests):
-                if self.env.now >= deadline:
-                    return
-                yield self.env.timeout(1.0)
-
-        self.env.run(until=self.env.process(watchdog()))
-        return self.collect(trace)
-
-    def collect(self, trace: Trace) -> "ServingResult":
-        """Assemble the result object from current state."""
-        # Imported here to avoid a core <-> analysis import cycle.
-        from ..analysis.metrics import ServingResult
-
-        engines = [
-            instance.engine
-            for instance in [*self.prefill_instances, *self.decode_instances]
-        ]
-        return ServingResult(
-            requests=list(self.proxy.requests),
-            slo=self.config.slo,
-            horizon=trace.horizon,
-            end_time=self.env.now,
-            scale_records=[
-                record for engine in engines for record in engine.scale_history
-            ],
-            transfer_stats=[engine.kv.stats for engine in engines],
-            gpu_count=self.config.gpus_needed,
-            label="Aegaeon",
-        )
+    def serve(self, trace: Trace, warm: bool = True, until: float | None = None) -> "ServingResult":
+        """Replay ``trace`` to completion (or the drain deadline)."""
+        self._warm_on_prepare = warm
+        return super().serve(trace, until=until)
 
     # -- variants -----------------------------------------------------------
     @classmethod
@@ -190,11 +187,12 @@ class AegaeonServer:
         env: Environment,
         slo: SloSpec = DEFAULT_SLO,
         engine: EngineConfig = EngineConfig(),
+        obs: ObsConfig = ObsConfig(),
     ) -> "AegaeonServer":
         """The §7.2 configuration: 16 H800s, 6 prefill + 10 decode."""
         cluster = Cluster.testbed(env)
         config = AegaeonConfig(
-            prefill_instances=6, decode_instances=10, engine=engine, slo=slo
+            prefill_instances=6, decode_instances=10, engine=engine, slo=slo, obs=obs
         )
         return cls(env, cluster, config)
 
@@ -212,6 +210,7 @@ class AegaeonServer:
             slo=slo,
             model_cache_bytes=256 * GiB,
             cpu_kv_cache_bytes=128 * GiB,
+            cluster="a10",
         )
         return cls(env, cluster, config)
 
@@ -221,6 +220,7 @@ class AegaeonServer:
         cluster = Cluster.h800_node(env)
         engine = EngineConfig(tp=4, weight_buffer_bytes=48 * GiB)
         config = AegaeonConfig(
-            prefill_instances=1, decode_instances=1, engine=engine, slo=slo
+            prefill_instances=1, decode_instances=1, engine=engine, slo=slo,
+            cluster="h800-node",
         )
         return cls(env, cluster, config)

@@ -1,42 +1,145 @@
-"""Shared serving-system machinery (trace replay, result collection).
+"""The unified serving-system API: protocol, shared base, configs, factory.
 
-Every serving system other than :class:`~repro.core.server.AegaeonServer`
-— the baselines and the unified-scheduling foils — derives from
-:class:`BaselineServer`: it replays the same trace format through the
-same proxy layer and returns the same
-:class:`~repro.analysis.metrics.ServingResult`, so every system is
-measured identically.
+Every serving system in this reproduction — Aegaeon itself, the
+ServerlessLLM/MuxServe baselines, and the unified-scheduling foils —
+speaks the same :class:`ServingSystem` protocol: ``prepare`` /
+``dispatch`` / ``serve`` / ``collect`` / ``scale_records``.  The shared
+plumbing (trace replay through the proxy layer, completion tracking,
+drain watchdog, result collection, observability attachment) lives in
+:class:`ServingSystemBase`; :func:`build_system` constructs any
+registered system by name from its config dataclass, so benchmarks,
+examples, and the observability layer attach to all of them uniformly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Optional, Protocol, runtime_checkable
 
+from ..engine.engine import AegaeonEngine, ScaleRecord
+from ..engine.request import Request
+from ..hardware.cluster import Cluster
+from ..hardware.gpu import H800
+from ..obs import NULL_OBS, ObsConfig, Observability
+from ..sim import Environment
+from ..transfer.kv_transfer import TransferStats
+from ..workload.trace import Trace
 from .proxy import ProxyLayer, StatusRegistry
 from .slo import DEFAULT_SLO, SloSpec
-from ..engine.engine import ScaleRecord
-from ..engine.request import Request
-from ..sim import Environment
-from ..workload.trace import Trace
 
-__all__ = ["BaselineServer"]
+__all__ = [
+    "ServingSystem",
+    "ServingSystemBase",
+    "BaselineServer",
+    "SystemConfig",
+    "ServerlessLLMConfig",
+    "MuxServeConfig",
+    "UnifiedConfig",
+    "RunSettings",
+    "build_system",
+    "available_systems",
+    "resolve_cluster",
+]
+
+GiB = 1024**3
 
 
-class BaselineServer:
-    """Trace replay, completion tracking, and result collection."""
+# -- cluster presets ---------------------------------------------------------
+_CLUSTER_PRESETS: dict[str, Callable[[Environment], Cluster]] = {
+    "testbed": Cluster.testbed,
+    "a10": Cluster.a10_node,
+    "h800-node": Cluster.h800_node,
+    "h800-quad": lambda env: Cluster.homogeneous(env, H800, 1, 4),
+    "h800-pair": lambda env: Cluster.homogeneous(env, H800, 1, 2),
+}
 
-    label = "baseline"
 
-    def __init__(self, env: Environment, slo: SloSpec = DEFAULT_SLO, drain_grace: float = 300.0):
+def resolve_cluster(preset: str, env: Environment) -> Cluster:
+    """Build the cluster named by a config's ``cluster`` preset."""
+    try:
+        builder = _CLUSTER_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster preset {preset!r}; "
+            f"known: {sorted(_CLUSTER_PRESETS)}"
+        ) from None
+    return builder(env)
+
+
+# -- the protocol ------------------------------------------------------------
+@runtime_checkable
+class ServingSystem(Protocol):
+    """What every serving system exposes to benchmarks and tooling."""
+
+    label: str
+    obs: Observability
+
+    def prepare(self, trace: Trace) -> None:
+        """Pre-trace setup (placement, cache warming)."""
+
+    def dispatch(self, request: Request) -> None:
+        """Route one arriving request."""
+
+    def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
+        """Replay ``trace`` to completion or the drain deadline."""
+
+    def collect(self, trace: Trace) -> "ServingResult":
+        """Assemble the measurement object from current state."""
+
+    def scale_records(self) -> list[ScaleRecord]:
+        """Auto-scaling history across the system's engines."""
+
+
+# -- shared plumbing ---------------------------------------------------------
+class ServingSystemBase:
+    """Trace replay, completion tracking, result collection, observability.
+
+    Subclasses implement :meth:`dispatch` and usually :meth:`prepare` and
+    :meth:`engines`; everything else — the proxy layer, the drain
+    watchdog, :class:`~repro.analysis.metrics.ServingResult` assembly,
+    and metric attachment — is inherited, so every system is measured
+    identically.
+    """
+
+    label = "system"
+
+    def __init__(
+        self,
+        env: Environment,
+        slo: SloSpec = DEFAULT_SLO,
+        drain_grace: float = 300.0,
+        obs: Optional[ObsConfig | Observability] = None,
+    ):
         self.env = env
         self.slo = slo
         self.drain_grace = drain_grace
+        if isinstance(obs, Observability):
+            self.obs = obs
+        else:
+            self.obs = Observability(
+                obs if obs is not None else ObsConfig(), clock=lambda: env.now
+            )
         self.registry = StatusRegistry()
         self.proxy = ProxyLayer(env, self.dispatch, self.registry)
         self.finished: list[Request] = []
         self.gpu_count = 0
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.gauge("in_flight", scope="proxy").set_fn(
+                lambda: self.registry.in_flight
+            )
+            metrics.gauge("finished", scope="proxy").set_fn(
+                lambda: self.registry.finished
+            )
+            metrics.gauge("steps_executed", scope="sim").set_fn(
+                lambda: env.steps_executed
+            )
+            metrics.gauge("events_scheduled", scope="sim").set_fn(
+                lambda: env.events_scheduled
+            )
 
-    # -- subclass interface -----------------------------------------------------
+    # -- subclass interface -------------------------------------------------
     def dispatch(self, request: Request) -> None:
         """Route one arriving request (subclasses implement)."""
         raise NotImplementedError
@@ -44,15 +147,32 @@ class BaselineServer:
     def prepare(self, trace: Trace) -> None:
         """Pre-trace setup (placement, cache warming); optional."""
 
-    def scale_records(self) -> list[ScaleRecord]:
-        """Auto-scaling history; optional."""
+    def engines(self) -> list[AegaeonEngine]:
+        """The system's engines, for scaling/transfer statistics; optional."""
         return []
 
-    # -- common plumbing -----------------------------------------------------
+    def scale_records(self) -> list[ScaleRecord]:
+        """Auto-scaling history, aggregated across :meth:`engines`."""
+        return [
+            record for engine in self.engines() for record in engine.scale_history
+        ]
+
+    def transfer_stats(self) -> list[TransferStats]:
+        """KV transfer statistics, aggregated across :meth:`engines`."""
+        return [engine.kv.stats for engine in self.engines()]
+
+    # -- common plumbing ----------------------------------------------------
     def note_finished(self, request: Request) -> None:
         """Record a completed request."""
         self.registry.update(request)
         self.finished.append(request)
+        self.obs.tracer.instant(
+            "request_finished",
+            cat="lifecycle",
+            track="proxy",
+            request_id=request.request_id,
+            model=request.model,
+        )
 
     def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
         """Replay ``trace`` to completion or the drain deadline."""
@@ -71,7 +191,7 @@ class BaselineServer:
 
     def collect(self, trace: Trace) -> "ServingResult":
         """Assemble the measurement object."""
-        # Imported here to avoid a baselines <-> analysis import cycle.
+        # Imported here to avoid a core <-> analysis import cycle.
         from ..analysis.metrics import ServingResult
 
         return ServingResult(
@@ -80,7 +200,181 @@ class BaselineServer:
             horizon=trace.horizon,
             end_time=self.env.now,
             scale_records=self.scale_records(),
-            transfer_stats=[],
+            transfer_stats=self.transfer_stats(),
             gpu_count=self.gpu_count,
             label=self.label,
+            metrics=self.obs.metrics.snapshot(),
+            obs=self.obs,
         )
+
+
+class BaselineServer(ServingSystemBase):
+    """Base for the baseline systems (kept as their import point)."""
+
+    label = "baseline"
+
+
+# -- config surface ----------------------------------------------------------
+@dataclass(frozen=True)
+class SystemConfig:
+    """Deployment knobs shared by every baseline serving system."""
+
+    slo: SloSpec = DEFAULT_SLO
+    cluster: str = "testbed"
+    drain_grace: float = 300.0
+    obs: ObsConfig = ObsConfig()
+
+
+@dataclass(frozen=True)
+class ServerlessLLMConfig(SystemConfig):
+    """Deployment shape for ServerlessLLM (``sjf=True`` for the + variant)."""
+
+    tp: int = 1
+    instance_count: Optional[int] = None
+    max_batch_size: int = 32
+    model_cache_bytes: int = 1280 * GiB
+    sjf: bool = False
+
+
+@dataclass(frozen=True)
+class MuxServeConfig(SystemConfig):
+    """Deployment shape for the MuxServe static-multiplexing baseline."""
+
+    tp: int = 1
+    max_batch_size: int = 32
+
+
+@dataclass(frozen=True)
+class UnifiedConfig(SystemConfig):
+    """Deployment shape for the unified token-level scheduling foils."""
+
+    policy: str = "prefill_first"  # or "decode_first"
+    model_cache_bytes: int = 640 * GiB
+
+
+@dataclass(frozen=True)
+class RunSettings:
+    """Run-level knobs shared by the benchmark harness and CI smoke runs.
+
+    This is the single home of the ``REPRO_BENCH_*`` environment
+    handling that used to be scattered through ``benchmarks/_common.py``,
+    with the observability level (``REPRO_OBS``) hanging off it.
+    """
+
+    horizon: float = 150.0
+    scale: float = 1.0
+    seed: int = 2025
+    obs: ObsConfig = field(default_factory=ObsConfig)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "RunSettings":
+        """Resolve settings from ``REPRO_BENCH_{HORIZON,SCALE,SEED}`` + ``REPRO_OBS``."""
+        environ = os.environ if environ is None else environ
+        defaults = cls()
+        return cls(
+            horizon=float(environ.get("REPRO_BENCH_HORIZON", defaults.horizon)),
+            scale=float(environ.get("REPRO_BENCH_SCALE", defaults.scale)),
+            seed=int(environ.get("REPRO_BENCH_SEED", defaults.seed)),
+            obs=ObsConfig.from_env(environ),
+        )
+
+
+# -- factory -----------------------------------------------------------------
+def _build_aegaeon(env: Environment, config):
+    from .server import AegaeonConfig, AegaeonServer
+
+    config = config if config is not None else AegaeonConfig()
+    return AegaeonServer(env, resolve_cluster(config.cluster, env), config)
+
+
+def _build_serverless(env: Environment, config):
+    from ..baselines.serverless_llm import ServerlessLLM, ServerlessLLMPlus
+
+    config = config if config is not None else ServerlessLLMConfig()
+    cls = ServerlessLLMPlus if config.sjf else ServerlessLLM
+    return cls(
+        env,
+        resolve_cluster(config.cluster, env),
+        instance_count=config.instance_count,
+        tp=config.tp,
+        slo=config.slo,
+        max_batch_size=config.max_batch_size,
+        model_cache_bytes=config.model_cache_bytes,
+        obs=config.obs,
+    )
+
+
+def _build_serverless_plus(env: Environment, config):
+    config = config if config is not None else ServerlessLLMConfig()
+    return _build_serverless(env, replace(config, sjf=True))
+
+
+def _build_muxserve(env: Environment, config):
+    from ..baselines.muxserve import MuxServe
+
+    config = config if config is not None else MuxServeConfig()
+    return MuxServe(
+        env,
+        resolve_cluster(config.cluster, env),
+        tp=config.tp,
+        slo=config.slo,
+        max_batch_size=config.max_batch_size,
+        obs=config.obs,
+    )
+
+
+def _build_unified(policy: str):
+    def build(env: Environment, config):
+        from .unified import UnifiedServer
+
+        config = config if config is not None else UnifiedConfig(policy=policy)
+        return UnifiedServer(
+            env,
+            resolve_cluster(config.cluster, env),
+            policy=config.policy if config.policy else policy,
+            slo=config.slo,
+            model_cache_bytes=config.model_cache_bytes,
+            obs=config.obs,
+        )
+
+    return build
+
+
+_BUILDERS: dict[str, Callable[[Environment, object], "ServingSystem"]] = {
+    "aegaeon": _build_aegaeon,
+    "serverless-llm": _build_serverless,
+    "serverless-llm+": _build_serverless_plus,
+    "muxserve": _build_muxserve,
+    "unified-prefill-first": _build_unified("prefill_first"),
+    "unified-decode-first": _build_unified("decode_first"),
+}
+
+_ALIASES = {
+    "serverlessllm": "serverless-llm",
+    "serverlessllm+": "serverless-llm+",
+}
+
+
+def available_systems() -> list[str]:
+    """Names accepted by :func:`build_system`."""
+    return sorted(_BUILDERS)
+
+
+def build_system(name: str, env: Environment, config=None) -> "ServingSystem":
+    """Construct any registered serving system by name.
+
+    ``config`` is the system's config dataclass (``AegaeonConfig``,
+    :class:`ServerlessLLMConfig`, :class:`MuxServeConfig`,
+    :class:`UnifiedConfig`) or ``None`` for that system's defaults; the
+    cluster is built from the config's ``cluster`` preset and the
+    observability layer from its ``obs`` level.
+    """
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        builder = _BUILDERS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown serving system {name!r}; known: {available_systems()}"
+        ) from None
+    return builder(env, config)

@@ -19,13 +19,14 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from ..engine.engine import AegaeonEngine, EngineConfig, ScaleRecord
+from ..engine.engine import AegaeonEngine, EngineConfig
 from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
 from ..models.catalog import ModelSpec
 from ..models.kv import kv_shape
+from ..obs import ObsConfig, Observability
 from ..sim import Environment, Event
 from ..transfer.kv_transfer import RequestKv
 from ..workload.trace import Trace
@@ -184,11 +185,16 @@ class UnifiedServer(BaselineServer):
         policy: str,
         slo: SloSpec = DEFAULT_SLO,
         model_cache_bytes: int = 640 * GiB,
+        obs: Optional[ObsConfig | Observability] = None,
     ):
-        super().__init__(env, slo)
+        super().__init__(env, slo, obs=obs)
         self.label = f"unified-{policy}"
-        self.model_cache = HostModelCache(model_cache_bytes)
-        cpu_kv = SlabAllocator(64 * GiB, 256 * 1024**2)
+        self.model_cache = HostModelCache(
+            model_cache_bytes, name="model_cache", obs=self.obs
+        )
+        cpu_kv = SlabAllocator(
+            64 * GiB, 256 * 1024**2, name="cpu_kv", obs=self.obs
+        )
         self.instances = []
         for index, gpu in enumerate(cluster.gpus):
             engine = AegaeonEngine(
@@ -200,6 +206,7 @@ class UnifiedServer(BaselineServer):
                 config=EngineConfig(prefetch=False),
                 name=f"unified{index}",
                 pre_initialized=True,
+                obs=self.obs,
             )
             self.instances.append(
                 UnifiedInstance(env, engine, policy, self.note_finished, name=f"unified{index}")
@@ -220,9 +227,6 @@ class UnifiedServer(BaselineServer):
         target = min(self.instances, key=lambda inst: inst.load())
         target.enqueue(request)
 
-    def scale_records(self) -> list[ScaleRecord]:
-        return [
-            record
-            for instance in self.instances
-            for record in instance.engine.scale_history
-        ]
+    def engines(self) -> list[AegaeonEngine]:
+        """Every per-instance engine (for scaling/transfer stats)."""
+        return [instance.engine for instance in self.instances]

@@ -3,7 +3,7 @@
 from .batching import BatchingPolicy, ContinuousBatcher
 from .block_manager import BlockManager
 from .engine import AegaeonEngine, EngineConfig, ScaleRecord
-from .init_stages import DEFAULT_INIT_COSTS, InitStageCosts
+from .init_stages import DEFAULT_INIT_COSTS, SWITCH_STAGES, InitStageCosts
 from .request import Phase, Request
 
 __all__ = [
@@ -17,4 +17,5 @@ __all__ = [
     "Phase",
     "Request",
     "ScaleRecord",
+    "SWITCH_STAGES",
 ]

@@ -37,6 +37,7 @@ from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
 from ..models.catalog import ModelSpec
 from ..models.latency import LatencyModel
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment
 from ..transfer.kv_transfer import KvTransferManager, MoveList
 from ..transfer.loader import NaiveLoader, QuickLoader
@@ -109,6 +110,7 @@ class AegaeonEngine:
         init_costs: InitStageCosts = DEFAULT_INIT_COSTS,
         name: str = "engine",
         pre_initialized: bool = False,
+        obs: Observability = NULL_OBS,
     ):
         if len(gpus) != config.tp:
             raise ValueError(
@@ -134,7 +136,9 @@ class AegaeonEngine:
                 f"{name}: weight buffer leaves no VRAM for the KV cache"
             )
         self.weights = BumpAllocator(capacity=config.weight_buffer_bytes)
-        self.gpu_kv_cache = SlabAllocator(kv_region, config.slab_bytes)
+        self.gpu_kv_cache = SlabAllocator(
+            kv_region, config.slab_bytes, name=f"{name}.gpu_kv", obs=obs
+        )
         self.kv = KvTransferManager(
             env,
             self.link,
@@ -143,10 +147,11 @@ class AegaeonEngine:
             move_list=move_list,
             fine_grained=config.fine_grained_sync,
             name=name,
+            obs=obs,
         )
         self.quick_loader = QuickLoader(env, self.link, model_cache)
         self.naive_loader = NaiveLoader(env, self.link)
-        self.prefetch_stream = CudaStream(env, name=f"{name}.prefetch")
+        self.prefetch_stream = CudaStream(env, name=f"{name}.prefetch", obs=obs)
         self.current_model: Optional[ModelSpec] = None
         self._current_weights: Optional[BumpAllocation] = None
         self._prefetched: Optional[tuple[ModelSpec, BumpAllocation, CudaEvent]] = None
@@ -157,6 +162,11 @@ class AegaeonEngine:
         self._fresh_boot_done = pre_initialized and config.reuse_components
         self.scale_history: list[ScaleRecord] = []
         self.busy_time = 0.0
+        self._tracer = obs.tracer
+        scope = obs.scoped(name)
+        self._switch_counter = scope.counter("switches")
+        self._prefetch_hit_counter = scope.counter("prefetch_hits")
+        self._switch_hist = scope.histogram("switch_latency_s")
 
     # -- latency models -----------------------------------------------------
     def latency_model(self, spec: ModelSpec) -> LatencyModel:
@@ -255,90 +265,108 @@ class AegaeonEngine:
             record.ended = self.env.now
             return record
 
-        # Stage 1 — KV-out synchronization.  With fine-grained sync the
-        # offloads proceed on their own stream and nothing blocks here.
-        if not self.config.fine_grained_sync:
-            start = self.env.now
-            yield from self.kv.drain()
-            record.stages["kv_out_sync"] = self.env.now - start
-
-        # Stage 2 — VRAM reclamation.
-        had_model = self.current_model is not None
-        if had_model:
-            if self.config.explicit_memory:
-                if self._current_weights is not None:
-                    self.weights.retire(self._current_weights)
-                    self._current_weights = None
-            else:
+        tracer = self._tracer
+        with tracer.span(
+            "model_switch", cat="switch", track=self.name,
+            model_from=record.model_from, model_to=spec.name,
+        ) as switch_span:
+            # Stage 1 — KV-out synchronization.  With fine-grained sync the
+            # offloads proceed on their own stream and nothing blocks here.
+            if not self.config.fine_grained_sync:
                 start = self.env.now
-                yield self.env.timeout(self.init_costs.gc_pass)
-                record.stages["gc"] = self.env.now - start
-                self.weights.reset(0)
-                self._current_weights = None
+                with tracer.span("kv_out_sync", cat="switch.stage", track=self.name):
+                    yield from self.kv.drain()
+                record.stages["kv_out_sync"] = self.env.now - start
 
-        # Stage 3 — engine (re)initialization.
-        start = self.env.now
-        if self.config.reuse_components and self._fresh_boot_done:
-            yield self.env.timeout(self.init_costs.reconfigure)
-            record.stages["reinit"] = self.env.now - start
-        else:
-            for stage, cost in [
-                ("dist_executor_init", self.init_costs.dist_executor(self.config.tp)),
-                ("profiling", self.init_costs.profiling),
-                ("kv_init", self.init_costs.kv_pin_init),
-                ("misc", self.init_costs.misc),
-            ]:
-                yield self.env.timeout(cost)
-                record.stages[stage] = cost
-            self._fresh_boot_done = True
+            # Stage 2 — VRAM reclamation.
+            had_model = self.current_model is not None
+            if had_model:
+                if self.config.explicit_memory:
+                    if self._current_weights is not None:
+                        self.weights.retire(self._current_weights)
+                        self._current_weights = None
+                else:
+                    start = self.env.now
+                    with tracer.span("gc", cat="switch.stage", track=self.name):
+                        yield self.env.timeout(self.init_costs.gc_pass)
+                    record.stages["gc"] = self.env.now - start
+                    self.weights.reset(0)
+                    self._current_weights = None
 
-        # Stage 4 — model weights.
-        start = self.env.now
-        nbytes = self.shard_bytes(spec)
-        if (
-            self._prefetched is not None
-            and self._prefetched[0].name == spec.name
-            and not self._prefetch_ready(spec)
-        ):
-            # The right model is mid-prefetch: finishing the in-flight
-            # copy is cheaper than starting over.
-            process = self._prefetched[2]
-            if not process.triggered:
-                yield process
-            yield process.value.wait()
-            record.stages["prefetch_wait"] = self.env.now - start
-        if self._prefetch_ready(spec):
-            # Promote the prefetched weights with a cheap on-device copy
-            # (Figure 9, step 3.b).
-            _, allocation, _ = self._prefetched
-            self._prefetched = None
-            on_device_copy = nbytes / self.gpus[0].spec.effective_hbm_bandwidth
-            yield self.env.timeout(on_device_copy)
-            self.weights.compact_to_front(allocation)
-            self._current_weights = allocation
-            record.prefetch_hit = True
-            record.stages["model_promote"] = self.env.now - start
-        else:
-            # An in-flight prefetch of another model is abandoned.
-            self._drop_prefetch()
-            # With every extent retired, bump the pointer home so the
-            # buffer does not creep upward across switches.
-            if not self.weights.live_allocations:
-                self.weights.reset(0)
-            if self.config.explicit_memory:
-                allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
-                yield from self.quick_loader.load(spec.name, nbytes)
-                self._current_weights = allocation
+            # Stage 3 — engine (re)initialization.
+            start = self.env.now
+            if self.config.reuse_components and self._fresh_boot_done:
+                with tracer.span("reinit", cat="switch.stage", track=self.name):
+                    yield self.env.timeout(self.init_costs.reconfigure)
+                record.stages["reinit"] = self.env.now - start
             else:
-                self.weights.reset(0)
-                allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
-                yield from self.naive_loader.load(spec.name, nbytes)
+                for stage, cost in [
+                    ("dist_executor_init", self.init_costs.dist_executor(self.config.tp)),
+                    ("profiling", self.init_costs.profiling),
+                    ("kv_init", self.init_costs.kv_pin_init),
+                    ("misc", self.init_costs.misc),
+                ]:
+                    with tracer.span(stage, cat="switch.stage", track=self.name):
+                        yield self.env.timeout(cost)
+                    record.stages[stage] = cost
+                self._fresh_boot_done = True
+
+            # Stage 4 — model weights.
+            start = self.env.now
+            nbytes = self.shard_bytes(spec)
+            if (
+                self._prefetched is not None
+                and self._prefetched[0].name == spec.name
+                and not self._prefetch_ready(spec)
+            ):
+                # The right model is mid-prefetch: finishing the in-flight
+                # copy is cheaper than starting over.
+                process = self._prefetched[2]
+                with tracer.span("prefetch_wait", cat="switch.stage", track=self.name):
+                    if not process.triggered:
+                        yield process
+                    yield process.value.wait()
+                record.stages["prefetch_wait"] = self.env.now - start
+            if self._prefetch_ready(spec):
+                # Promote the prefetched weights with a cheap on-device copy
+                # (Figure 9, step 3.b).
+                _, allocation, _ = self._prefetched
+                self._prefetched = None
+                on_device_copy = nbytes / self.gpus[0].spec.effective_hbm_bandwidth
+                with tracer.span("model_promote", cat="switch.stage", track=self.name):
+                    yield self.env.timeout(on_device_copy)
+                self.weights.compact_to_front(allocation)
                 self._current_weights = allocation
-            record.stages["model_load"] = self.env.now - start
+                record.prefetch_hit = True
+                record.stages["model_promote"] = self.env.now - start
+            else:
+                # An in-flight prefetch of another model is abandoned.
+                self._drop_prefetch()
+                # With every extent retired, bump the pointer home so the
+                # buffer does not creep upward across switches.
+                if not self.weights.live_allocations:
+                    self.weights.reset(0)
+                with tracer.span("model_load", cat="switch.stage", track=self.name):
+                    if self.config.explicit_memory:
+                        allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
+                        yield from self.quick_loader.load(spec.name, nbytes)
+                        self._current_weights = allocation
+                    else:
+                        self.weights.reset(0)
+                        allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
+                        yield from self.naive_loader.load(spec.name, nbytes)
+                        self._current_weights = allocation
+                record.stages["model_load"] = self.env.now - start
+
+            switch_span.set(prefetch_hit=record.prefetch_hit)
 
         self.current_model = spec
         record.ended = self.env.now
         self.scale_history.append(record)
+        self._switch_counter.inc()
+        self._switch_hist.observe(record.total)
+        if record.prefetch_hit:
+            self._prefetch_hit_counter.inc()
         return record
 
     # -- execution ----------------------------------------------------------
@@ -346,7 +374,11 @@ class AegaeonEngine:
         """Process: run one prefill batch; returns its duration."""
         self._require_active(spec)
         duration = self.latency_model(spec).prefill_time(input_lengths)
-        yield self.env.timeout(duration)
+        with self._tracer.span(
+            "prefill", cat="exec", track=self.name,
+            model=spec.name, batch=len(input_lengths),
+        ):
+            yield self.env.timeout(duration)
         self.busy_time += duration
         return duration
 
@@ -357,7 +389,10 @@ class AegaeonEngine:
     def decode_for(self, spec: ModelSpec, duration: float) -> Generator:
         """Process: occupy the default stream decoding for ``duration``."""
         self._require_active(spec)
-        yield self.env.timeout(duration)
+        with self._tracer.span(
+            "decode", cat="exec", track=self.name, model=spec.name
+        ):
+            yield self.env.timeout(duration)
         self.busy_time += duration
 
     def _require_active(self, spec: ModelSpec) -> None:

@@ -22,7 +22,23 @@ from dataclasses import dataclass
 from ..models.catalog import ModelSpec
 from ..models.latency import NAIVE_LOAD_BANDWIDTH
 
-__all__ = ["InitStageCosts", "DEFAULT_INIT_COSTS"]
+__all__ = ["InitStageCosts", "DEFAULT_INIT_COSTS", "SWITCH_STAGES"]
+
+#: Every stage label the engine's scaling state machine can emit, in
+#: execution order — the key space of ``ScaleRecord.stages`` and of the
+#: ``switch.stage`` trace spans consumed by the exporters.
+SWITCH_STAGES = (
+    "kv_out_sync",
+    "gc",
+    "reinit",
+    "dist_executor_init",
+    "profiling",
+    "kv_init",
+    "misc",
+    "prefetch_wait",
+    "model_promote",
+    "model_load",
+)
 
 
 @dataclass(frozen=True)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..obs import NULL_OBS, Observability
+
 __all__ = ["CacheEntry", "HostModelCache"]
 
 
@@ -27,7 +29,12 @@ class CacheEntry:
 class HostModelCache:
     """LRU cache of model checkpoints in host DRAM."""
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        name: str = "model_cache",
+        obs: Observability = NULL_OBS,
+    ):
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_bytes = capacity_bytes
@@ -35,6 +42,14 @@ class HostModelCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.name = name
+        scope = obs.scoped(name)
+        self._hit_counter = scope.counter("hits")
+        self._miss_counter = scope.counter("misses")
+        self._eviction_counter = scope.counter("evictions")
+        if obs.enabled:
+            scope.gauge("used_bytes").set_fn(lambda: self.used_bytes)
+            scope.gauge("resident_models").set_fn(lambda: len(self._entries))
 
     @property
     def used_bytes(self) -> int:
@@ -53,8 +68,10 @@ class HostModelCache:
         if model in self._entries:
             self._entries.move_to_end(model)
             self.hits += 1
+            self._hit_counter.inc()
             return True
         self.misses += 1
+        self._miss_counter.inc()
         return False
 
     def insert(self, model: str, nbytes: int) -> list[str]:
@@ -83,6 +100,7 @@ class HostModelCache:
             evicted.append(victim)
             del self._entries[victim]
             self.evictions += 1
+            self._eviction_counter.inc()
         self._entries[model] = CacheEntry(model=model, nbytes=nbytes)
         return evicted
 

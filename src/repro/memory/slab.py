@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
+from ..obs import NULL_OBS, Observability
+
 __all__ = ["KvBlock", "Slab", "SlabAllocator", "ShapeStats"]
 
 
@@ -111,7 +113,13 @@ class ShapeStats:
 class SlabAllocator:
     """Unified KV cache over a region divided into fixed-size slabs."""
 
-    def __init__(self, region_bytes: int, slab_bytes: int):
+    def __init__(
+        self,
+        region_bytes: int,
+        slab_bytes: int,
+        name: str = "slab",
+        obs: Observability = NULL_OBS,
+    ):
         if slab_bytes <= 0 or region_bytes < slab_bytes:
             raise ValueError("region must hold at least one slab")
         self.slab_bytes = slab_bytes
@@ -123,6 +131,13 @@ class SlabAllocator:
         self._shape_slabs: dict[Hashable, list[int]] = {}
         self._block_bytes: dict[Hashable, int] = {}
         self.peak_held_bytes = 0
+        self.name = name
+        scope = obs.scoped(name)
+        self._blocks_allocated = scope.counter("blocks_allocated")
+        self._blocks_freed = scope.counter("blocks_freed")
+        if obs.enabled:
+            scope.gauge("held_bytes").set_fn(lambda: self.held_bytes)
+            scope.gauge("fragmentation").set_fn(self.overall_fragmentation)
 
     # -- allocation ----------------------------------------------------------
     def alloc(self, shape: Hashable, block_bytes: int, count: int = 1) -> list[KvBlock]:
@@ -152,6 +167,7 @@ class SlabAllocator:
             slab = self._acquire_slab(shape, block_bytes)
             while slab.free_blocks and len(blocks) < count:
                 blocks.append(self._take(slab))
+        self._blocks_allocated.inc(len(blocks))
         return blocks
 
     def free(self, blocks: list[KvBlock]) -> None:
@@ -169,6 +185,7 @@ class SlabAllocator:
             slab.free_blocks.append(block.block_index)
             if slab.is_empty:
                 self._release_slab(slab)
+        self._blocks_freed.inc(len(blocks))
 
     # -- capacity ------------------------------------------------------------
     def capacity_for(self, shape: Hashable, block_bytes: int) -> int:

@@ -1,0 +1,51 @@
+"""The :class:`Observability` facade threaded through the serving stack.
+
+One :class:`Observability` object bundles a :class:`~repro.obs.tracer.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry` behind one
+:class:`~repro.obs.config.ObsConfig`.  Serving systems construct it bound
+to their simulation clock and hand it down to every component; components
+default to the shared :data:`NULL_OBS`, whose instruments are inert, so
+instrumentation is unconditional in code and near-free when disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .config import ObsConfig
+from .metrics import MetricsRegistry, MetricsScope
+from .tracer import Tracer
+
+__all__ = ["Observability", "NULL_OBS"]
+
+
+class Observability:
+    """Tracer + metrics registry for one run, behind one config."""
+
+    def __init__(
+        self,
+        config: ObsConfig = ObsConfig(),
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self.config = config
+        self.tracer = Tracer(clock=clock, enabled=config.full_trace)
+        self.metrics = MetricsRegistry(enabled=config.enabled)
+
+    @property
+    def enabled(self) -> bool:
+        """True if anything (metrics or trace) is recording."""
+        return self.config.enabled
+
+    def scoped(self, scope: str) -> MetricsScope:
+        """Metric instruments under one component scope."""
+        return self.metrics.scoped(scope)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability metrics={self.config.metrics} "
+            f"full_trace={self.config.full_trace}>"
+        )
+
+
+#: Shared disabled instance — the default for every instrumented component.
+NULL_OBS = Observability(ObsConfig())

@@ -1,0 +1,224 @@
+"""Counters, gauges, and histograms with per-component scoping.
+
+A :class:`MetricsRegistry` hands out metric instruments keyed by
+``(scope, name)`` — scope being the owning component (``decode3``,
+``cpu_kv``) — and snapshots them into a flat mapping for export.  When
+the registry is disabled every request returns shared null instruments,
+so instrumented code records unconditionally and pays a no-op call when
+observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Optional, Sequence, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsScope"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value, set directly or sampled from a callable."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self._value = value
+        self._fn = None
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """Sample the gauge from ``fn`` at read time (live views)."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        """The current gauge reading."""
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """A sample distribution with exact percentiles.
+
+    Samples are kept sorted (insertion via bisect), so percentile reads
+    are cheap and exact; the simulation's sample counts (switches,
+    waits) stay far below the sizes where a sketch would be needed.
+    """
+
+    __slots__ = ("_sorted", "total")
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        bisect.insort(self._sorted, value)
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (nan when empty)."""
+        return self.total / len(self._sorted) if self._sorted else float("nan")
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by linear interpolation (nan when empty)."""
+        if not self._sorted:
+            return float("nan")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        rank = (p / 100.0) * (len(self._sorted) - 1)
+        low = int(rank)
+        high = min(low + 1, len(self._sorted) - 1)
+        fraction = rank - low
+        return self._sorted[low] * (1 - fraction) + self._sorted[high] * fraction
+
+    def summary(self, points: Sequence[float] = (50, 90, 99)) -> dict[str, float]:
+        """Count, mean, and the requested percentiles as a mapping."""
+        out: dict[str, float] = {"count": float(self.count), "mean": self.mean}
+        for p in points:
+            out[f"p{p:g}"] = self.percentile(p)
+        return out
+
+
+class _NullCounter(Counter):
+    """Shared counter that records nothing (disabled registry)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+
+class _NullGauge(Gauge):
+    """Shared gauge that records nothing (disabled registry)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        """No-op."""
+
+
+class _NullHistogram(Histogram):
+    """Shared histogram that records nothing (disabled registry)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Registry of scoped counters/gauges/histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: dict[tuple[str, str], Metric] = {}
+
+    # -- instruments ---------------------------------------------------------
+    def counter(self, name: str, scope: str = "") -> Counter:
+        """The counter ``scope/name``, created on first use."""
+        return self._get(name, scope, Counter, _NULL_COUNTER)
+
+    def gauge(self, name: str, scope: str = "") -> Gauge:
+        """The gauge ``scope/name``, created on first use."""
+        return self._get(name, scope, Gauge, _NULL_GAUGE)
+
+    def histogram(self, name: str, scope: str = "") -> Histogram:
+        """The histogram ``scope/name``, created on first use."""
+        return self._get(name, scope, Histogram, _NULL_HISTOGRAM)
+
+    def scoped(self, scope: str) -> "MetricsScope":
+        """A view that prefixes every instrument with ``scope``."""
+        return MetricsScope(self, scope)
+
+    def _get(self, name: str, scope: str, cls: type, null: Metric) -> Metric:
+        if not self.enabled:
+            return null
+        key = (scope, name)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls()
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {scope}/{name} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """Flatten every metric into ``scope/name`` keys.
+
+        Counters and gauges flatten to their value; histograms to a
+        ``{count, mean, p50, p90, p99}`` mapping.
+        """
+        out: dict[str, object] = {}
+        for (scope, name), metric in sorted(self._metrics.items()):
+            key = f"{scope}/{name}" if scope else name
+            if isinstance(metric, Histogram):
+                out[key] = metric.summary()
+            else:
+                out[key] = metric.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class MetricsScope:
+    """A registry view bound to one component scope."""
+
+    __slots__ = ("_registry", "_scope")
+
+    def __init__(self, registry: MetricsRegistry, scope: str):
+        self._registry = registry
+        self._scope = scope
+
+    def counter(self, name: str) -> Counter:
+        """The counter ``name`` under this scope."""
+        return self._registry.counter(name, scope=self._scope)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge ``name`` under this scope."""
+        return self._registry.gauge(name, scope=self._scope)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram ``name`` under this scope."""
+        return self._registry.histogram(name, scope=self._scope)

@@ -330,6 +330,9 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        # Plain-int telemetry sampled by the observability layer.
+        self.steps_executed = 0
+        self.events_scheduled = 0
 
     @property
     def now(self) -> float:
@@ -366,6 +369,7 @@ class Environment:
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
+        self.events_scheduled += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -376,6 +380,7 @@ class Environment:
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
         self._now, _, event = heapq.heappop(self._queue)
+        self.steps_executed += 1
         event._run_callbacks()
         if not event._ok and not event._defused:
             exc = event._value

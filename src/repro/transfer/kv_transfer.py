@@ -25,6 +25,7 @@ from typing import Generator, Optional
 
 from ..memory.slab import KvBlock, SlabAllocator
 from ..models.kv import DEFAULT_BLOCK_TOKENS, KvShape
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment, Event
 from ..hardware.interconnect import DuplexLink
 from .streams import CudaEvent, CudaStream
@@ -146,6 +147,7 @@ class KvTransferManager:
         fine_grained: bool = True,
         daemon_interval: float = 0.005,
         name: str = "gpu",
+        obs: Observability = NULL_OBS,
     ):
         self.env = env
         self.link = link
@@ -154,9 +156,21 @@ class KvTransferManager:
         self.move_list = move_list if move_list is not None else MoveList()
         self.fine_grained = fine_grained
         self.stats = TransferStats()
-        self.kv_in = CudaStream(env, name=f"{name}.kv_in")
-        self.kv_out = CudaStream(env, name=f"{name}.kv_out")
+        self.kv_in = CudaStream(env, name=f"{name}.kv_in", obs=obs)
+        self.kv_out = CudaStream(env, name=f"{name}.kv_out", obs=obs)
         self._daemon_interval = daemon_interval
+        self.name = name
+        self._tracer = obs.tracer
+        scope = obs.scoped(f"kv.{name}")
+        self._swap_in_counter = scope.counter("swap_in")
+        self._swap_out_counter = scope.counter("swap_out")
+        self._bytes_in_counter = scope.counter("bytes_in")
+        self._bytes_out_counter = scope.counter("bytes_out")
+        self._wait_hist = scope.histogram("wait_ready_s")
+        if obs.enabled:
+            scope.gauge("move_list_blocks").set_fn(
+                lambda: self.move_list.pending_blocks
+            )
         env.process(self._reclaim_daemon())
 
     # -- allocation on the GPU ------------------------------------------------
@@ -212,6 +226,13 @@ class KvTransferManager:
         self.stats.swap_out_count += 1
         self.stats.bytes_out += kv.nbytes
         self.stats.charge_control(2)
+        self._swap_out_counter.inc()
+        self._bytes_out_counter.inc(kv.nbytes)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "swap_out", cat="kv", track=self.name,
+                request_id=kv.request_id, nbytes=kv.nbytes,
+            )
         return event
 
     # -- swap-in ----------------------------------------------------------------
@@ -243,6 +264,13 @@ class KvTransferManager:
         self.stats.swap_in_count += 1
         self.stats.bytes_in += kv.nbytes
         self.stats.charge_control(3)
+        self._swap_in_counter.inc()
+        self._bytes_in_counter.inc(kv.nbytes)
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "swap_in", cat="kv", track=self.name,
+                request_id=kv.request_id, nbytes=kv.nbytes,
+            )
         return event
 
     # -- host-side waits -----------------------------------------------------
@@ -254,7 +282,14 @@ class KvTransferManager:
             return
         start = self.env.now
         yield kv.last_transfer.wait()
-        self.stats.charge_wait(kv.request_id, self.env.now - start)
+        waited = self.env.now - start
+        self.stats.charge_wait(kv.request_id, waited)
+        self._wait_hist.observe(waited)
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "wait_ready", cat="kv", track=self.name,
+                start=start, end=self.env.now, request_id=kv.request_id,
+            )
 
     def drain(self) -> Generator:
         """Process: blocking synchronization of both KV streams.

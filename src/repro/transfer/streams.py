@@ -24,6 +24,7 @@ import itertools
 from typing import Callable, Generator, Optional
 
 from ..hardware.interconnect import Link
+from ..obs import NULL_OBS, Observability
 from ..sim import Environment, Event, Store
 
 __all__ = ["CudaEvent", "CudaStream", "synchronize_all"]
@@ -91,7 +92,9 @@ class CudaEvent:
 class CudaStream:
     """An in-order work queue executed by a dedicated simulation process."""
 
-    def __init__(self, env: Environment, name: str = "stream"):
+    def __init__(
+        self, env: Environment, name: str = "stream", obs: Observability = NULL_OBS
+    ):
         self.env = env
         self.name = name
         self._ops: Store = Store(env)
@@ -99,6 +102,7 @@ class CudaStream:
         self._idle.succeed()
         self._depth = 0
         self.ops_executed = 0
+        self._tracer = obs.tracer
         env.process(self._worker())
 
     # -- enqueue API --------------------------------------------------------
@@ -147,12 +151,24 @@ class CudaStream:
             kind = op[0]
             if kind == "copy":
                 _, link, nbytes, on_done = op
+                start = self.env.now
                 yield self.env.process(link.transfer(nbytes))
+                if self._tracer.enabled:
+                    self._tracer.complete(
+                        "copy", cat="stream", track=self.name,
+                        start=start, end=self.env.now, nbytes=nbytes,
+                    )
                 if on_done is not None:
                     on_done()
             elif kind == "compute":
                 _, duration, on_done = op
+                start = self.env.now
                 yield self.env.timeout(duration)
+                if self._tracer.enabled:
+                    self._tracer.complete(
+                        "compute", cat="stream", track=self.name,
+                        start=start, end=self.env.now,
+                    )
                 if on_done is not None:
                     on_done()
             elif kind == "record":

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.workload",
     "repro.analysis",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,176 @@
+"""Conformance tests: every system built by ``build_system`` speaks the
+same :class:`ServingSystem` protocol and is measured identically."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AegaeonConfig,
+    MuxServeConfig,
+    RunSettings,
+    ServerlessLLMConfig,
+    ServingSystem,
+    UnifiedConfig,
+    available_systems,
+    build_system,
+    resolve_cluster,
+)
+from repro.models import market_mix
+from repro.obs import ObsConfig, chrome_trace
+from repro.sim import Environment
+from repro.workload import sharegpt, synthesize_trace
+
+
+def small_trace(n_models=3, rps=0.08, horizon=50.0, seed=11):
+    models = market_mix(n_models)
+    return synthesize_trace(
+        models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed
+    )
+
+
+def small_config(name, obs=ObsConfig.metrics_only()):
+    """The smallest sensible deployment of each system (fast to simulate)."""
+    if name == "aegaeon":
+        return AegaeonConfig(
+            prefill_instances=1, decode_instances=1, cluster="h800-pair", obs=obs
+        )
+    if name in ("serverless-llm", "serverless-llm+"):
+        return ServerlessLLMConfig(cluster="h800-pair", obs=obs)
+    if name == "muxserve":
+        return MuxServeConfig(cluster="h800-pair", obs=obs)
+    if name.startswith("unified-"):
+        return UnifiedConfig(cluster="h800-pair", obs=obs)
+    raise AssertionError(f"no small config for {name}")
+
+
+class TestFactory:
+    def test_available_systems(self):
+        names = available_systems()
+        assert "aegaeon" in names
+        assert "serverless-llm" in names
+        assert "muxserve" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown serving system"):
+            build_system("nope", Environment())
+
+    def test_aliases_and_case(self):
+        env = Environment()
+        system = build_system(
+            "ServerlessLLM+", env, small_config("serverless-llm+")
+        )
+        assert system.label == "ServerlessLLM+"
+
+    def test_unknown_cluster_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown cluster preset"):
+            resolve_cluster("tpu-pod", Environment())
+
+
+class TestConformance:
+    @pytest.mark.parametrize("name", available_systems())
+    def test_protocol_and_serve(self, name):
+        env = Environment()
+        system = build_system(name, env, small_config(name))
+        assert isinstance(system, ServingSystem)
+        assert system.label
+
+        trace = small_trace()
+        result = system.serve(trace)
+        assert result.label == system.label
+        assert len(result.requests) == len(trace)
+        assert result.finished_requests > 0
+        assert isinstance(result.scale_records, list)
+        assert isinstance(result.transfer_stats, list)
+        # Metrics were enabled, so every system attaches a snapshot with
+        # the shared proxy/sim gauges.
+        assert result.metrics["proxy/finished"] == result.finished_requests
+        assert result.metrics["sim/steps_executed"] > 0
+        assert result.obs is system.obs
+
+    @pytest.mark.parametrize(
+        "name", ["aegaeon", "serverless-llm", "serverless-llm+"]
+    )
+    def test_transfer_stats_flow_through(self, name):
+        """The old baseline collect() dropped transfer stats; the shared
+        base must route the real per-engine stats for every system."""
+        env = Environment()
+        system = build_system(name, env, small_config(name))
+        result = system.serve(small_trace())
+        assert result.transfer_stats, f"{name} returned no transfer stats"
+
+    def test_obs_level_does_not_change_results(self):
+        """Tracing stamps simulated time; enabling it must not perturb
+        any scheduling decision or token time."""
+        token_times = {}
+        for obs in (ObsConfig.off(), ObsConfig.full()):
+            env = Environment()
+            system = build_system("aegaeon", env, small_config("aegaeon", obs=obs))
+            result = system.serve(small_trace())
+            token_times[obs.full_trace] = {
+                r.request_id: list(r.token_times) for r in result.requests
+            }
+        assert token_times[False] == token_times[True]
+
+    def test_obs_off_records_nothing(self):
+        env = Environment()
+        system = build_system(
+            "aegaeon", env, small_config("aegaeon", obs=ObsConfig.off())
+        )
+        result = system.serve(small_trace())
+        assert result.metrics == {}
+        assert len(result.obs.tracer) == 0
+
+
+class TestAcceptance:
+    def test_full_trace_run_exports_switch_timeline(self):
+        """ISSUE acceptance: a full-trace Aegaeon run yields a loadable
+        Chrome trace whose model-switch spans carry per-stage children."""
+        env = Environment()
+        system = build_system(
+            "aegaeon", env, small_config("aegaeon", obs=ObsConfig.full())
+        )
+        result = system.serve(small_trace(n_models=4, rps=0.12))
+
+        tracer = result.obs.tracer
+        switches = tracer.spans_named("model_switch")
+        assert switches, "no model switches traced"
+        staged = [s for s in switches if tracer.children_of(s)]
+        assert staged, "no switch span has per-stage children"
+        for child in tracer.children_of(staged[0]):
+            assert child.cat == "switch.stage"
+            assert child.parent == "model_switch"
+
+        document = json.loads(json.dumps(chrome_trace(tracer)))
+        events = document["traceEvents"]
+        assert any(
+            e["ph"] == "X" and e["name"] == "model_switch" for e in events
+        )
+        assert result.transfer_stats
+        assert any(
+            stats.swap_in_count or stats.swap_out_count
+            for stats in result.transfer_stats
+        )
+
+
+class TestRunSettings:
+    def test_defaults(self):
+        settings = RunSettings.from_env({})
+        assert settings.horizon == 150.0
+        assert settings.scale == 1.0
+        assert settings.seed == 2025
+        assert settings.obs == ObsConfig.off()
+
+    def test_env_overrides(self):
+        settings = RunSettings.from_env(
+            {
+                "REPRO_BENCH_HORIZON": "60",
+                "REPRO_BENCH_SCALE": "0.5",
+                "REPRO_BENCH_SEED": "7",
+                "REPRO_OBS": "full",
+            }
+        )
+        assert settings.horizon == 60.0
+        assert settings.scale == 0.5
+        assert settings.seed == 7
+        assert settings.obs == ObsConfig.full()
