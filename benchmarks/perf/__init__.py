@@ -1,0 +1,23 @@
+"""Tracked performance microbenchmarks for the simulation kernel.
+
+Unlike the figure benches (which regenerate paper results), these
+benchmarks time the *simulator itself*: raw event throughput through the
+kernel, an end-to-end Figure-11-style serving run, and a model-switch
+storm that stresses the scheduler and KV-transfer hot paths.
+
+Run them with::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --out BENCH_kernel.json
+
+and gate a change against the committed baseline with::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --check \
+        --baseline BENCH_kernel.json --max-drop 0.30
+
+``BENCH_kernel.json`` at the repository root is the committed baseline
+the CI perf-smoke job compares against.
+"""
+
+from .scenarios import SCENARIOS, run_scenario
+
+__all__ = ["SCENARIOS", "run_scenario"]

@@ -1,0 +1,140 @@
+"""CLI for the tracked perf benchmarks.
+
+Measure and write a fresh report::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --out BENCH_kernel.json
+
+Gate against the committed baseline (used by the CI perf-smoke job)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --check \
+        --baseline BENCH_kernel.json --max-drop 0.30 --quick
+
+``--check`` compares each scenario's ``ops_per_sec`` against the
+baseline and exits non-zero when any scenario drops by more than
+``--max-drop`` (a fraction, default 0.30).  ``--quick`` runs reduced
+problem sizes; quick throughput is compared against the baseline's
+recorded quick numbers when present, else full-size numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+# Standalone bootstrap: make `repro` importable when invoked as a plain
+# script without PYTHONPATH=src.
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from benchmarks.perf.scenarios import SCENARIOS, run_scenario  # noqa: E402
+
+
+def measure(quick: bool, repeat: int) -> dict:
+    report: dict = {
+        "meta": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "quick": quick,
+            "repeat": repeat,
+        },
+        "scenarios": {},
+    }
+    for name in SCENARIOS:
+        print(f"[perf] {name} ...", flush=True)
+        result = run_scenario(name, quick=quick, repeat=repeat)
+        report["scenarios"][name] = result
+        print(
+            f"[perf] {name}: {result['ops_per_sec']:,.0f} events/s "
+            f"({result['wall_s']:.3f}s wall, {result['sim_steps']} steps)",
+            flush=True,
+        )
+    return report
+
+
+def check(report: dict, baseline_path: Path, max_drop: float) -> int:
+    with baseline_path.open() as fh:
+        baseline = json.load(fh)
+    base_scenarios = baseline.get("scenarios", {})
+    base_quick = bool(baseline.get("meta", {}).get("quick", False))
+    now_quick = bool(report.get("meta", {}).get("quick", False))
+    if base_quick != now_quick:
+        print(
+            f"[perf] note: baseline quick={base_quick} vs current "
+            f"quick={now_quick}; comparing throughput anyway "
+            "(events/s is size-independent to first order)"
+        )
+    failures = []
+    for name, result in report["scenarios"].items():
+        base = base_scenarios.get(name)
+        if base is None:
+            print(f"[perf] {name}: no baseline entry, skipping")
+            continue
+        floor = base["ops_per_sec"] * (1.0 - max_drop)
+        ratio = result["ops_per_sec"] / base["ops_per_sec"]
+        status = "ok" if result["ops_per_sec"] >= floor else "FAIL"
+        print(
+            f"[perf] {name}: {result['ops_per_sec']:,.0f} vs baseline "
+            f"{base['ops_per_sec']:,.0f} events/s ({ratio:.2f}x, "
+            f"floor {floor:,.0f}) {status}"
+        )
+        if result["ops_per_sec"] < floor:
+            failures.append(name)
+    if failures:
+        print(
+            f"[perf] FAIL: {', '.join(failures)} dropped more than "
+            f"{max_drop:.0%} below the committed baseline"
+        )
+        return 1
+    print("[perf] all scenarios within budget")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against --baseline and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=_REPO_ROOT / "BENCH_kernel.json",
+        help="baseline report to compare against (default: repo BENCH_kernel.json)",
+    )
+    parser.add_argument(
+        "--max-drop", type=float, default=0.30,
+        help="max tolerated fractional ops/sec drop per scenario (default 0.30)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced problem sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="trials per scenario, best kept (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure(quick=args.quick, repeat=args.repeat)
+
+    if args.out is not None:
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[perf] wrote {args.out}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"[perf] baseline {args.baseline} not found")
+            return 2
+        return check(report, args.baseline, args.max_drop)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

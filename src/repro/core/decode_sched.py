@@ -133,11 +133,20 @@ def reorder_work_list(work_list: list[DecodeBatch]) -> list[DecodeBatch]:
     """Group batches of the same model adjacently, preserving first-seen order.
 
     Same-model batches occur when one batch's KV needs exceed the GPU
-    cache; placing them adjacently avoids pointless switches.
+    cache; placing them adjacently avoids pointless switches.  When the
+    list is already grouped — the overwhelmingly common case — the input
+    list itself is returned, letting callers skip the copy-back.
     """
     order: dict[str, int] = {}
+    sorted_already = True
+    last_index = -1
     for batch in work_list:
-        order.setdefault(batch.spec.name, len(order))
+        index = order.setdefault(batch.spec.name, len(order))
+        if index < last_index:
+            sorted_already = False
+        last_index = index
+    if sorted_already:
+        return work_list
     indexed = sorted(
         enumerate(work_list),
         key=lambda item: (order[item[1].spec.name], item[0]),

@@ -77,7 +77,7 @@ class PrefillInstance:
         """Execution + auto-scaling estimate for one queued group."""
         latency = self.engine.latency_model(group.spec)
         execution = sum(
-            latency.prefill_time([request.input_tokens])
+            latency.prefill_time_single(request.input_tokens)
             for request in group.requests
         )
         switch = 0.0
@@ -110,10 +110,14 @@ class PrefillInstance:
         self._wake = None
 
     def _execute(self, spec: ModelSpec, request: Request) -> Generator:
-        with self._tracer.span(
-            "prefill_job", cat="lifecycle", track=self.name,
-            request_id=request.request_id, model=request.model,
-        ):
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "prefill_job", cat="lifecycle", track=self.name,
+                request_id=request.request_id, model=request.model,
+            ):
+                yield from self._execute_inner(spec, request)
+        else:
             yield from self._execute_inner(spec, request)
 
     def _execute_inner(self, spec: ModelSpec, request: Request) -> Generator:
@@ -238,43 +242,62 @@ class DecodeInstance:
         """One full rotation of the work list (Algorithm 2, lines 4-11)."""
         self.rounds += 1
         self._round_counter.inc()
-        self.work_list[:] = reorder_work_list(self.work_list)
+        reordered = reorder_work_list(self.work_list)
+        if reordered is not self.work_list:
+            self.work_list[:] = reordered
         batches = list(self.work_list)
+        engine = self.engine
         step_times = [
-            self.engine.decode_step_time(
-                batch.spec, max(batch.size, 1), max(batch.context_tokens, 1)
+            engine.decode_step_time(
+                batch.spec, batch.size or 1, batch.context_tokens or 1
             )
             for batch in batches
         ]
         switch_cost = self._round_switch_cost(batches)
         quotas = compute_quotas(batches, step_times, switch_cost, self.slo, self.qmax)
-        with self._tracer.span(
-            "decode_round", cat="sched", track=self.name, batches=len(batches)
-        ):
-            for index, (batch, quota) in enumerate(zip(batches, quotas)):
-                if batch.exhausted:
-                    continue
-                self.turns += 1
-                self._turn_counter.inc()
-                with self._tracer.span(
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "decode_round", cat="sched", track=self.name, batches=len(batches)
+            ):
+                yield from self._run_turns(batches, quotas)
+        else:
+            yield from self._run_turns(batches, quotas)
+        self._prune()
+
+    def _run_turns(self, batches: list[DecodeBatch], quotas: list[float]) -> Generator:
+        tracer = self._tracer
+        for index, (batch, quota) in enumerate(zip(batches, quotas)):
+            if batch.exhausted:
+                continue
+            self.turns += 1
+            self._turn_counter.inc()
+            if tracer.enabled:
+                with tracer.span(
                     "decode_turn", cat="sched", track=self.name,
                     model=batch.spec.name, quota=quota, batch=batch.size,
                 ):
-                    if (
-                        self.engine.current_model is None
-                        or self.engine.current_model.name != batch.spec.name
-                    ):
-                        yield from self.engine.scale_to(batch.spec)
-                    self._prefetch_after(batch)
-                    yield from self._swap_in_batch(batch)
-                    # Figure 10's overlap: while this turn decodes, the *next*
-                    # batch's KV streams in on the kv_in stream, guarded by
-                    # per-request events — by its turn, rule ❶ is already met.
-                    self._issue_swap_in_async(batches, index)
-                    yield from self._decode_for(batch, quota)
-                    if self._distinct_models() > 1:
-                        yield from self._swap_out_batch(batch)
-        self._prune()
+                    yield from self._turn(batches, index, batch, quota)
+            else:
+                yield from self._turn(batches, index, batch, quota)
+
+    def _turn(
+        self, batches: list[DecodeBatch], index: int, batch: DecodeBatch, quota: float
+    ) -> Generator:
+        """One weighted turn: scale, swap in, decode, swap out."""
+        engine = self.engine
+        current = engine.current_model
+        if current is None or current.name != batch.spec.name:
+            yield from engine.scale_to(batch.spec)
+        self._prefetch_after(batch)
+        yield from self._swap_in_batch(batch)
+        # Figure 10's overlap: while this turn decodes, the *next*
+        # batch's KV streams in on the kv_in stream, guarded by
+        # per-request events — by its turn, rule ❶ is already met.
+        self._issue_swap_in_async(batches, index)
+        yield from self._decode_for(batch, quota)
+        if self._distinct_models() > 1:
+            yield from self._swap_out_batch(batch)
 
     def _issue_swap_in_async(self, batches: list[DecodeBatch], index: int) -> None:
         """Start the next non-empty batch's KV swap-in without waiting."""
@@ -342,8 +365,10 @@ class DecodeInstance:
 
     def _decode_for(self, batch: DecodeBatch, quota: float) -> Generator:
         """Decode ``batch`` for up to ``quota`` seconds (one turn)."""
-        turn_start = self.env.now
-        while self.env.now - turn_start < quota and not batch.exhausted:
+        env = self.env
+        engine = self.engine
+        turn_start = env.now
+        while env.now - turn_start < quota and not batch.exhausted:
             # Requests that joined the batch mid-round still sit in the
             # CPU cache; pull them in so they decode within this turn.
             if any(r.kv is not None and r.kv.location == "cpu" for r in batch.requests):
@@ -352,26 +377,30 @@ class DecodeInstance:
             if not ready:
                 yield from self._wait_for_any_transfer(batch)
                 continue
-            step = self.engine.decode_step_time(
+            step = engine.decode_step_time(
                 batch.spec, len(ready), sum(r.context_tokens for r in ready)
             )
-            remaining_time = quota - (self.env.now - turn_start)
+            remaining_time = quota - (env.now - turn_start)
             steps = max(1, min(
                 DECODE_CHUNK_STEPS,
                 int(remaining_time // step) if step > 0 else DECODE_CHUNK_STEPS,
                 min(r.remaining_tokens for r in ready),
             ))
-            chunk_start = self.env.now
-            yield from self.engine.decode_for(batch.spec, steps * step)
+            chunk_start = env.now
+            yield from engine.decode_for(batch.spec, steps * step)
+            # One timestamp list shared across the batch: record_tokens
+            # copies via extend(), so the shared list is never aliased.
+            times = [chunk_start + (i + 1) * step for i in range(steps)]
+            chunk_time = steps * step
+            gpu_cache = engine.gpu_kv_cache
             for request in ready:
-                times = [chunk_start + (i + 1) * step for i in range(steps)]
                 request.record_tokens(times)
-                request.decode_exec_time += steps * step
+                request.decode_exec_time += chunk_time
                 try:
-                    request.kv.grow(steps, self.engine.gpu_kv_cache)
+                    request.kv.grow(steps, gpu_cache)
                 except MemoryError:
                     # Cache pressure: demote this request until space frees.
-                    self.engine.kv.swap_out(request.kv)
+                    engine.kv.swap_out(request.kv)
             self._retire_finished(batch)
 
     def _wait_for_any_transfer(self, batch: DecodeBatch) -> Generator:
@@ -393,6 +422,8 @@ class DecodeInstance:
             )
 
     def _retire_finished(self, batch: DecodeBatch) -> None:
+        if not any(r.finished for r in batch.requests):
+            return
         for request in [r for r in batch.requests if r.finished]:
             batch.requests.remove(request)
             if request.kv is not None and request.kv.location == "gpu":
@@ -401,4 +432,5 @@ class DecodeInstance:
             self.on_finished(request)
 
     def _prune(self) -> None:
-        self.work_list[:] = [b for b in self.work_list if not b.exhausted]
+        if any(b.exhausted for b in self.work_list):
+            self.work_list[:] = [b for b in self.work_list if not b.exhausted]

@@ -374,10 +374,16 @@ class AegaeonEngine:
         """Process: run one prefill batch; returns its duration."""
         self._require_active(spec)
         duration = self.latency_model(spec).prefill_time(input_lengths)
-        with self._tracer.span(
-            "prefill", cat="exec", track=self.name,
-            model=spec.name, batch=len(input_lengths),
-        ):
+        # The disabled-tracer path must stay allocation-free, so the span
+        # (and its kwargs dict) is only built when recording.
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span(
+                "prefill", cat="exec", track=self.name,
+                model=spec.name, batch=len(input_lengths),
+            ):
+                yield self.env.timeout(duration)
+        else:
             yield self.env.timeout(duration)
         self.busy_time += duration
         return duration
@@ -389,9 +395,11 @@ class AegaeonEngine:
     def decode_for(self, spec: ModelSpec, duration: float) -> Generator:
         """Process: occupy the default stream decoding for ``duration``."""
         self._require_active(spec)
-        with self._tracer.span(
-            "decode", cat="exec", track=self.name, model=spec.name
-        ):
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("decode", cat="exec", track=self.name, model=spec.name):
+                yield self.env.timeout(duration)
+        else:
             yield self.env.timeout(duration)
         self.busy_time += duration
 

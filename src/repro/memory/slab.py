@@ -16,16 +16,21 @@ paper's Figure 16 are measured from live state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Hashable, NamedTuple, Optional
 
 from ..obs import NULL_OBS, Observability
 
 __all__ = ["KvBlock", "Slab", "SlabAllocator", "ShapeStats"]
 
 
-@dataclass(frozen=True)
-class KvBlock:
-    """One KV-cache block (a fixed number of tokens of one shape)."""
+class KvBlock(NamedTuple):
+    """One KV-cache block (a fixed number of tokens of one shape).
+
+    A NamedTuple rather than a frozen dataclass: blocks are minted on
+    the allocator's hottest path and tuple construction is several times
+    cheaper than ``object.__setattr__`` per field, with the same
+    immutability, equality, and hashability.
+    """
 
     slab_index: int
     block_index: int
@@ -130,6 +135,7 @@ class SlabAllocator:
         # shape -> indices of slabs currently assigned to it
         self._shape_slabs: dict[Hashable, list[int]] = {}
         self._block_bytes: dict[Hashable, int] = {}
+        self._held_bytes = 0
         self.peak_held_bytes = 0
         self.name = name
         scope = obs.scoped(name)
@@ -159,31 +165,55 @@ class SlabAllocator:
                 f"unified cache cannot hold {count} blocks of {shape!r}"
             )
         blocks: list[KvBlock] = []
+        append = blocks.append
+        slabs = self._slabs
+        remaining = count
         for slab_index in self._shape_slabs.get(shape, []):
-            slab = self._slabs[slab_index]
-            while slab.free_blocks and len(blocks) < count:
-                blocks.append(self._take(slab))
-        while len(blocks) < count:
+            slab = slabs[slab_index]
+            free_list = slab.free_blocks
+            if not free_list:
+                continue
+            used = slab.used_blocks
+            slab_shape = slab.shape
+            block_nbytes = slab.block_bytes
+            while free_list and remaining:
+                block_index = free_list.pop()
+                used.add(block_index)
+                append(KvBlock(slab_index, block_index, slab_shape, block_nbytes))
+                remaining -= 1
+            if not remaining:
+                break
+        while remaining:
             slab = self._acquire_slab(shape, block_bytes)
-            while slab.free_blocks and len(blocks) < count:
-                blocks.append(self._take(slab))
-        self._blocks_allocated.inc(len(blocks))
+            free_list = slab.free_blocks
+            used = slab.used_blocks
+            slab_index = slab.index
+            block_nbytes = slab.block_bytes
+            while free_list and remaining:
+                block_index = free_list.pop()
+                used.add(block_index)
+                append(KvBlock(slab_index, block_index, shape, block_nbytes))
+                remaining -= 1
+        self._blocks_allocated.inc(count)
         return blocks
 
     def free(self, blocks: list[KvBlock]) -> None:
         """Release blocks; empty slabs return to the shared pool."""
+        slabs = self._slabs
         for block in blocks:
-            slab = self._slabs[block.slab_index]
-            if slab.shape != block.shape:
+            slab = slabs[block.slab_index]
+            if slab.shape is not block.shape and slab.shape != block.shape:
                 raise ValueError(
                     f"block {block.address} shape {block.shape!r} does not "
                     f"match slab shape {slab.shape!r} (double free?)"
                 )
-            if block.block_index not in slab.used_blocks:
+            used = slab.used_blocks
+            block_index = block.block_index
+            if block_index not in used:
                 raise ValueError(f"double free of block {block.address}")
-            slab.used_blocks.remove(block.block_index)
-            slab.free_blocks.append(block.block_index)
-            if slab.is_empty:
+            used.remove(block_index)
+            slab.free_blocks.append(block_index)
+            if not used:
                 self._release_slab(slab)
         self._blocks_freed.inc(len(blocks))
 
@@ -233,10 +263,7 @@ class SlabAllocator:
     @property
     def held_bytes(self) -> int:
         """Bytes in slabs currently assigned to some shape."""
-        return sum(
-            len(indices) * self.slab_bytes
-            for indices in self._shape_slabs.values()
-        )
+        return self._held_bytes
 
     # -- internal ----------------------------------------------------------
     def _take(self, slab: Slab) -> KvBlock:
@@ -255,7 +282,9 @@ class SlabAllocator:
         slab = self._slabs[self._free_slabs.pop()]
         slab.assign(shape, block_bytes)
         self._shape_slabs.setdefault(shape, []).append(slab.index)
-        self.peak_held_bytes = max(self.peak_held_bytes, self.held_bytes)
+        self._held_bytes += self.slab_bytes
+        if self._held_bytes > self.peak_held_bytes:
+            self.peak_held_bytes = self._held_bytes
         return slab
 
     def _release_slab(self, slab: Slab) -> None:
@@ -264,3 +293,4 @@ class SlabAllocator:
             del self._shape_slabs[slab.shape]
         slab.unassign()
         self._free_slabs.append(slab.index)
+        self._held_bytes -= self.slab_bytes

@@ -10,6 +10,7 @@ Aegaeon's unified KV cache needs shape-aware slab allocation (§5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .catalog import ModelSpec
 
@@ -19,14 +20,35 @@ __all__ = ["KvShape", "kv_shape", "kv_bytes_per_token", "kv_block_bytes"]
 DEFAULT_BLOCK_TOKENS = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class KvShape:
-    """Per-token KV tensor shape, the unit of slab-pool segregation."""
+    """Per-token KV tensor shape, the unit of slab-pool segregation.
+
+    Shapes key the allocator's slab pools and are compared on every
+    block free, so equality short-circuits on identity and hashes are
+    precomputed (``kv_shape`` interns instances, making the identity
+    path the common case).
+    """
 
     n_layers: int
     n_kv_heads: int
     head_dim: int
     dtype_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        key = (self.n_layers, self.n_kv_heads, self.head_dim, self.dtype_bytes)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if type(other) is KvShape:
+            return self._key == other._key
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def dims(self) -> tuple[int, int, int, int]:
@@ -48,14 +70,27 @@ class KvShape:
         return f"KV{self.dims}"
 
 
-def kv_shape(spec: ModelSpec, tp: int = 1) -> KvShape:
-    """The per-GPU KV shape for ``spec`` under tensor parallelism ``tp``."""
-    shard = spec.shard(tp) if tp > 1 else spec
+@lru_cache(maxsize=None)
+def _interned_shape(
+    n_layers: int, n_kv_heads: int, head_dim: int, dtype_bytes: int
+) -> KvShape:
     return KvShape(
-        n_layers=shard.n_layers,
-        n_kv_heads=shard.n_kv_heads,
-        head_dim=shard.head_dim,
-        dtype_bytes=shard.dtype_bytes,
+        n_layers=n_layers,
+        n_kv_heads=n_kv_heads,
+        head_dim=head_dim,
+        dtype_bytes=dtype_bytes,
+    )
+
+
+def kv_shape(spec: ModelSpec, tp: int = 1) -> KvShape:
+    """The per-GPU KV shape for ``spec`` under tensor parallelism ``tp``.
+
+    Equal shapes return the *same* object, so shape comparisons on the
+    allocator hot path resolve by identity.
+    """
+    shard = spec.shard(tp) if tp > 1 else spec
+    return _interned_shape(
+        shard.n_layers, shard.n_kv_heads, shard.head_dim, shard.dtype_bytes
     )
 
 

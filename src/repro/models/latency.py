@@ -21,13 +21,20 @@ is the total context (KV) tokens the step attends over.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..hardware.gpu import GpuSpec
 from .catalog import ModelSpec
 from .kv import kv_bytes_per_token
 
-__all__ = ["LatencyModel", "switch_time", "PCIE_BETA", "NAIVE_LOAD_BANDWIDTH"]
+__all__ = [
+    "LatencyModel",
+    "switch_time",
+    "LATENCY_CACHE_SIZE",
+    "PCIE_BETA",
+    "NAIVE_LOAD_BANDWIDTH",
+]
 
 # Eq. 4's profiled PCIe-efficiency factor: effective load bandwidth is
 # `pcie_bandwidth * beta`.  The paper profiles beta = 0.625 (32 GB/s PCIe
@@ -41,6 +48,11 @@ NAIVE_LOAD_BANDWIDTH = 2.83e9
 
 # FlashAttention kernel block size (Table 1 of the appendix).
 FLASH_ATTENTION_BLOCK = 128
+
+# Per-model LRU size for memoized prefill/decode predictions.  Steady-state
+# decoding revisits the same (batch, context) keys every scheduler round,
+# so even a small cache skips nearly all re-derivation of the Eq. 5-6 terms.
+LATENCY_CACHE_SIZE = 4096
 
 
 def switch_time(
@@ -98,6 +110,23 @@ class LatencyModel:
         # Compute floor for very large decode batches (decode turns
         # compute-bound): 2 FLOPs per parameter per generated token.
         self._decode_flops_per_token = 2.0 * self.model.params / flops
+        # Constant-folded coefficients: every per-step term that does not
+        # depend on the batch is collapsed to one multiplier, so a
+        # prediction is a handful of flops instead of re-deriving the
+        # Eq. 5-6 expressions.
+        self._prefill_per_token = self._c1 * (4.0 * h * h + 2.0 * h * m)
+        self._prefill_per_sq_token = self._c2 * (3.0 * h) / FLASH_ATTENTION_BLOCK
+        self._decode_weights_time = self._c4 * (4.0 * h * h + 2.0 * h * m)
+        self._decode_per_context_token = self._c5 * 3.0 * h
+        # Memoization (true LRU): keyed on the exact batch signature /
+        # (batch size, context) pair, so cached and uncached predictions
+        # are bit-identical.
+        self._prefill_cached = lru_cache(maxsize=LATENCY_CACHE_SIZE)(
+            self._prefill_uncached
+        )
+        self._decode_cached = lru_cache(maxsize=LATENCY_CACHE_SIZE)(
+            self._decode_uncached
+        )
 
     # -- constants (exposed for tests and reporting) -----------------------
     @property
@@ -112,17 +141,33 @@ class LatencyModel:
         }
 
     # -- predictions --------------------------------------------------------
+    def _prefill_uncached(self, lengths: tuple[int, ...]) -> float:
+        t = 0
+        t2 = 0
+        for length in lengths:
+            t += length
+            t2 += length * length
+        return self._prefill_per_token * t + self._prefill_per_sq_token * t2 + self._c3
+
     def prefill_time(self, input_lengths: Sequence[int]) -> float:
         """Eq. 5: wall time of one prefill batch."""
         if not input_lengths:
             return 0.0
-        h = self.model.hidden_size
-        m = self.model.ffn_intermediate
-        t = sum(input_lengths)
-        t2 = sum(length * length for length in input_lengths)
-        linear = self._c1 * (4.0 * t * h * h + 2.0 * t * h * m)
-        attention = self._c2 * (3.0 * h * t2) / FLASH_ATTENTION_BLOCK
-        return linear + attention + self._c3
+        return self._prefill_cached(tuple(input_lengths))
+
+    def prefill_time_single(self, input_length: int) -> float:
+        """Eq. 5 for a batch of one prompt (the Algorithm 1 common case).
+
+        Identical to ``prefill_time([input_length])`` without building a
+        throwaway batch list — schedulers estimate queue loads with this
+        in a tight loop.
+        """
+        return self._prefill_cached((input_length,))
+
+    def _decode_uncached(self, batch_size: int, context_tokens: int) -> float:
+        memory = self._decode_weights_time + self._decode_per_context_token * context_tokens
+        compute = self._decode_flops_per_token * batch_size
+        return (memory if memory >= compute else compute) + self.decode_overhead
 
     def decode_step_time(self, batch_size: int, context_tokens: int) -> float:
         """Eq. 6: wall time of one decoding step for the whole batch.
@@ -132,12 +177,14 @@ class LatencyModel:
         """
         if batch_size <= 0:
             return 0.0
-        h = self.model.hidden_size
-        m = self.model.ffn_intermediate
-        weights = self._c4 * (4.0 * h * h + 2.0 * h * m)
-        kv = self._c5 * 3.0 * h * context_tokens
-        compute = self._decode_flops_per_token * batch_size
-        return max(weights + kv, compute) + self.decode_overhead
+        return self._decode_cached(batch_size, context_tokens)
+
+    def cache_info(self) -> dict[str, object]:
+        """LRU hit/miss statistics for the memoized predictions."""
+        return {
+            "prefill": self._prefill_cached.cache_info(),
+            "decode": self._decode_cached.cache_info(),
+        }
 
     def switch_time(self, beta: float = PCIE_BETA) -> float:
         """Eq. 4 for this binding's model/GPU/TP."""

@@ -14,11 +14,31 @@ Design notes
 * Processes are plain Python generators that ``yield`` events.  When the
   event fires, the process resumes with the event's value; if the event
   failed, the exception is thrown into the generator.
+
+Hot-path engineering (see DESIGN.md "Performance notes")
+--------------------------------------------------------
+* Every kernel object carries ``__slots__``; there are no instance dicts
+  on the event path.
+* :class:`Event`, :class:`Timeout`, and :class:`Process` objects are
+  recycled through per-class freelists.  An object is returned to its
+  pool only when the run loop holds the *sole* remaining reference
+  (checked with ``sys.getrefcount``), so any event a component keeps a
+  handle on — a wake event, a prefetch process, a condition sub-event —
+  is never reused out from under it.  Failed events are recycled only
+  after their failure has been defused (observed); an unobserved failure
+  still surfaces at :meth:`Environment.run` with its exception intact.
+* Timeouts support *lazy cancellation*: :meth:`Timeout.cancel` (and
+  :meth:`Process.interrupt` orphaning a timeout) marks the heap entry
+  dead, and the run loop drops it at pop time instead of re-heapifying.
+* ``yield`` of an already-processed event, and :class:`AllOf`/
+  :class:`AnyOf` over already-triggered events, take allocation-light
+  fast paths.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -55,6 +75,9 @@ _PENDING = 0  # created, not yet triggered
 _TRIGGERED = 1  # value set, scheduled to fire
 _PROCESSED = 2  # callbacks have run
 
+# Per-class freelist size cap; beyond this, objects fall back to the GC.
+_POOL_CAP = 4096
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -63,6 +86,8 @@ class Event:
     *triggered* (a value or exception has been set and the event is
     queued), and *processed* (its callbacks have run).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused", "_cancelled")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -73,6 +98,8 @@ class Event:
         # Failures are "defused" once some process observes them; an
         # unobserved failure surfaces at env.run() to avoid being dropped.
         self._defused = False
+        # Lazy cancellation: dead heap entries are dropped at pop time.
+        self._cancelled = False
 
     # -- state inspection ------------------------------------------------
     @property
@@ -88,38 +115,49 @@ class Event:
     @property
     def ok(self) -> bool:
         """True if the event succeeded.  Only valid once triggered."""
-        if not self.triggered:
+        if self._state < _TRIGGERED:
             raise SimulationError("event value not yet available")
         return self._ok
 
     @property
     def value(self) -> Any:
         """The event's value (or exception, if it failed)."""
-        if not self.triggered:
+        if self._state < _TRIGGERED:
             raise SimulationError("event value not yet available")
         return self._value
 
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._state >= _TRIGGERED:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        self.env._enqueue(self)
+        env = self.env
+        heappush(env._queue, (env._now, env._sequence, self))
+        env._sequence += 1
+        env.events_scheduled += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        """Trigger the event with an exception."""
-        if self.triggered:
+        """Trigger the event with an exception.
+
+        The exception is pinned to the event until some waiter observes
+        (defuses) it; undefused failures are never recycled, so the
+        traceback survives to surface at :meth:`Environment.run`.
+        """
+        if self._state >= _TRIGGERED:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
         self._state = _TRIGGERED
-        self.env._enqueue(self)
+        env = self.env
+        heappush(env._queue, (env._now, env._sequence, self))
+        env._sequence += 1
+        env.events_scheduled += 1
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -144,29 +182,35 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        Event.__init__(self, env)
         self.delay = delay
         self._ok = True
         self._value = value
         self._state = _TRIGGERED
-        env._enqueue(self, delay)
+        heappush(env._queue, (env._now + delay, env._sequence, self))
+        env._sequence += 1
+        env.events_scheduled += 1
+
+    def cancel(self) -> bool:
+        """Lazily cancel this timeout.
+
+        The heap entry stays where it is; the run loop drops it at pop
+        time without firing callbacks (and without counting a step).
+        Returns True if the timeout was still pending, False if it had
+        already been processed (in which case this is a no-op).
+        """
+        if self._state == _PROCESSED:
+            return False
+        self._cancelled = True
+        return True
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
-
-
-class Initialize(Event):
-    """Internal event used to start a freshly created process."""
-
-    def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
-        self._state = _TRIGGERED
-        env._enqueue(self)
 
 
 class Process(Event):
@@ -176,20 +220,25 @@ class Process(Event):
     raises, waiting processes observe the exception.
     """
 
+    __slots__ = ("_generator", "_target", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise SimulationError(
                 f"process() requires a generator, got {generator!r}"
             )
-        super().__init__(env)
+        Event.__init__(self, env)
         self._generator = generator
         self._target: Optional[Event] = None
-        Initialize(env, self)
+        # Bind the resume callback once; every wait reuses it instead of
+        # materializing a fresh bound method per yield.
+        self._resume_cb = self._resume
+        env._schedule_init(self)
 
     @property
     def is_alive(self) -> bool:
         """True while the underlying generator has not terminated."""
-        return not self.triggered
+        return self._state < _TRIGGERED
 
     @property
     def target(self) -> Optional[Event]:
@@ -201,28 +250,35 @@ class Process(Event):
 
         The process is rescheduled immediately; the event it was waiting
         on is left un-consumed (its callbacks no longer include this
-        process).
+        process).  An orphaned :class:`Timeout` — one no waiter remains
+        attached to — is lazily cancelled so the run loop can drop it at
+        pop time instead of firing it.
         """
-        if self.triggered:
+        if self._state >= _TRIGGERED:
             raise SimulationError("cannot interrupt a terminated process")
         if self._target is None:
             raise SimulationError("cannot interrupt a process that is not waiting")
-        interrupt_event = Event(self.env)
+        env = self.env
+        interrupt_event = env.event()
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
         interrupt_event._state = _TRIGGERED
         # Detach from the old target so its firing does not resume us.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        callbacks = target.callbacks
+        if callbacks is not None and self._resume_cb in callbacks:
+            callbacks.remove(self._resume_cb)
+            if not callbacks and type(target) is Timeout:
+                target._cancelled = True
         self._target = None
-        interrupt_event.callbacks = [self._resume]
-        self.env._enqueue(interrupt_event)
+        interrupt_event.callbacks = [self._resume_cb]
+        env._enqueue(interrupt_event)
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
@@ -231,39 +287,57 @@ class Process(Event):
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             self._target = None
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self._target = None
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
-        if not isinstance(next_event, Event):
+        try:
+            callbacks = next_event.callbacks
+        except AttributeError:
             raise SimulationError(
                 f"process yielded a non-event: {next_event!r}"
-            )
-        if next_event.callbacks is None:
-            # Already processed: resume immediately with its value.
-            resume = Event(self.env)
-            resume._ok = next_event._ok
+            ) from None
+        if callbacks is not None:
+            callbacks.append(self._resume_cb)
+            self._target = next_event
+        else:
+            # Already processed: resume immediately with its value, via a
+            # pooled relay event so ordering against the queue is kept.
+            resume = env.event()
+            ok = next_event._ok
+            resume._ok = ok
             resume._value = next_event._value
-            if not next_event._ok:
+            if not ok:
                 next_event._defused = True
                 resume._defused = True
             resume._state = _TRIGGERED
-            resume.callbacks = [self._resume]
-            self.env._enqueue(resume)
+            resume.callbacks.append(self._resume_cb)
+            heappush(env._queue, (env._now, env._sequence, resume))
+            env._sequence += 1
+            env.events_scheduled += 1
             self._target = resume
-        else:
-            next_event.callbacks.append(self._resume)
-            self._target = next_event
+
+
+def _all_fired(events: list[Event], count: int) -> bool:
+    """Evaluate for :class:`AllOf`: every sub-event has fired."""
+    return count == len(events)
+
+
+def _any_fired(events: list[Event], count: int) -> bool:
+    """Evaluate for :class:`AnyOf`: at least one sub-event has fired."""
+    return count >= 1
 
 
 class Condition(Event):
     """An event that fires once ``evaluate`` holds over its sub-events."""
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -271,32 +345,38 @@ class Condition(Event):
         evaluate: Callable[[list[Event], int], bool],
         events: Iterable[Event],
     ):
-        super().__init__(env)
+        Event.__init__(self, env)
         self._evaluate = evaluate
-        self._events = list(events)
+        self._attach(env, list(events))
+
+    def _attach(self, env: "Environment", events: list[Event]) -> None:
+        self._events = events
         self._count = 0
-        for event in self._events:
+        for event in events:
             if event.env is not env:
                 raise SimulationError("conditions cannot span environments")
 
-        if not self._events:
+        if not events:
             self.succeed(self._collect_values())
             return
-        for event in self._events:
+        check = self._check
+        for event in events:
             if event.callbacks is None:
-                self._check(event)
+                # Fast path: the sub-event already fired; account for it
+                # now instead of queueing anything.
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect_values(self) -> dict[Event, Any]:
         return {
             event: event._value
             for event in self._events
-            if event.processed and event._ok
+            if event._state == _PROCESSED and event._ok
         }
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._state >= _TRIGGERED:
             if not event._ok:
                 event._defused = True
             return
@@ -311,19 +391,65 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when all sub-events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda events, count: count == len(events), events)
+        Event.__init__(self, env)
+        self._evaluate = _all_fired
+        self._attach(env, list(events))
+
+    def _check(self, event: Event) -> None:
+        if self._state >= _TRIGGERED:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._count == len(self._events):
+            self.succeed(self._collect_values())
 
 
 class AnyOf(Condition):
     """Fires when any sub-event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env, lambda events, count: count >= 1, events)
+        Event.__init__(self, env)
+        self._evaluate = _any_fired
+        self._attach(env, list(events))
+
+    def _check(self, event: Event) -> None:
+        if self._state >= _TRIGGERED:
+            if not event._ok:
+                event._defused = True
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect_values())
 
 
 class Environment:
     """The simulation environment: clock plus event queue."""
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_sequence",
+        "_active_process",
+        "steps_executed",
+        "events_scheduled",
+        "events_cancelled",
+        "events_recycled",
+        "_event_pool",
+        "_timeout_pool",
+        "_process_pool",
+    )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -333,6 +459,12 @@ class Environment:
         # Plain-int telemetry sampled by the observability layer.
         self.steps_executed = 0
         self.events_scheduled = 0
+        self.events_cancelled = 0
+        self.events_recycled = 0
+        # Freelists; see the module docstring for the recycling contract.
+        self._event_pool: list[Event] = []
+        self._timeout_pool: list[Timeout] = []
+        self._process_pool: list[Process] = []
 
     @property
     def now(self) -> float:
@@ -346,15 +478,58 @@ class Environment:
 
     # -- factories ---------------------------------------------------------
     def event(self) -> Event:
-        """Create a new, untriggered event."""
+        """Create a new, untriggered event (recycled when possible)."""
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.callbacks = []
+            event._value = None
+            event._ok = True
+            event._state = _PENDING
+            event._defused = False
+            event._cancelled = False
+            return event
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` seconds from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._state = _TRIGGERED
+            timeout._defused = False
+            timeout._cancelled = False
+            timeout.delay = delay
+            heappush(self._queue, (self._now + delay, self._sequence, timeout))
+            self._sequence += 1
+            self.events_scheduled += 1
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
         """Start a new process from a generator."""
+        pool = self._process_pool
+        if pool:
+            if not hasattr(generator, "throw"):
+                raise SimulationError(
+                    f"process() requires a generator, got {generator!r}"
+                )
+            process = pool.pop()
+            process.callbacks = []
+            process._value = None
+            process._ok = True
+            process._state = _PENDING
+            process._defused = False
+            process._cancelled = False
+            process._generator = generator
+            process._target = None
+            self._schedule_init(process)
+            return process
         return Process(self, generator)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
@@ -367,24 +542,64 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
         self.events_scheduled += 1
+
+    def _schedule_init(self, process: Process) -> None:
+        """Queue the pooled event that gives a new process its first turn."""
+        init = self.event()
+        init._ok = True
+        init._state = _TRIGGERED
+        init.callbacks.append(process._resume_cb)
+        heappush(self._queue, (self._now, self._sequence, init))
+        self._sequence += 1
+        self.events_scheduled += 1
+
+    def _recycle(self, event: Event) -> None:
+        """Return ``event`` to its freelist if nothing else references it.
+
+        The caller's local is expected to be the only remaining reference
+        (``getrefcount == 2``: the local plus getrefcount's argument).
+        Failed events reach this only once defused; the value is cleared
+        so pooled objects never pin exceptions or payloads alive.
+        """
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        elif cls is Process:
+            pool = self._process_pool
+        else:
+            return
+        if getrefcount(event) == 3 and len(pool) < _POOL_CAP:
+            event._value = None
+            if cls is Process:
+                event._generator = None
+            pool.append(event)
+            self.events_recycled += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled event (cancelled entries are dropped)."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        self._now, _, event = heapq.heappop(self._queue)
+        self._now, _, event = heappop(self._queue)
+        if event._cancelled:
+            event.callbacks = None
+            event._state = _PROCESSED
+            self.events_cancelled += 1
+            self._recycle(event)
+            return
         self.steps_executed += 1
         event._run_callbacks()
         if not event._ok and not event._defused:
-            exc = event._value
-            raise exc
+            raise event._value
+        self._recycle(event)
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -404,16 +619,66 @@ class Environment:
                     f"until ({stop_time}) lies in the past (now={self._now})"
                 )
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # The pop/dispatch/recycle loop is inlined: at hundreds of
+        # thousands of events per run the per-event method-call overhead
+        # of step()/peek() is measurable.
+        queue = self._queue
+        event_pool = self._event_pool
+        timeout_pool = self._timeout_pool
+        process_pool = self._process_pool
+        steps = 0
+        cancelled = 0
+        recycled = 0
+        try:
+            while queue:
+                if stop_event is not None and stop_event._state == _PROCESSED:
+                    break
+                if queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+                self._now, _, event = heappop(queue)
+                if event._cancelled:
+                    # Lazy cancellation: dropped here instead of firing.
+                    event.callbacks = None
+                    event._state = _PROCESSED
+                    cancelled += 1
+                    if (
+                        event.__class__ is Timeout
+                        and getrefcount(event) == 2
+                        and len(timeout_pool) < _POOL_CAP
+                    ):
+                        event._value = None
+                        timeout_pool.append(event)
+                        recycled += 1
+                    continue
+                steps += 1
+                event._run_callbacks()
+                if not event._ok and not event._defused:
+                    raise event._value
+                cls = event.__class__
+                if cls is Timeout:
+                    if getrefcount(event) == 2 and len(timeout_pool) < _POOL_CAP:
+                        event._value = None
+                        timeout_pool.append(event)
+                        recycled += 1
+                elif cls is Event:
+                    if getrefcount(event) == 2 and len(event_pool) < _POOL_CAP:
+                        event._value = None
+                        event_pool.append(event)
+                        recycled += 1
+                elif cls is Process:
+                    if getrefcount(event) == 2 and len(process_pool) < _POOL_CAP:
+                        event._value = None
+                        event._generator = None
+                        process_pool.append(event)
+                        recycled += 1
+        finally:
+            self.steps_executed += steps
+            self.events_cancelled += cancelled
+            self.events_recycled += recycled
 
         if stop_event is not None:
-            if not stop_event.triggered:
+            if stop_event._state < _TRIGGERED:
                 raise SimulationError(
                     "run() ran out of events before `until` event fired"
                 )

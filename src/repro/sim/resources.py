@@ -28,6 +28,8 @@ class Request(Event):
             ...  # holding the resource
     """
 
+    __slots__ = ("resource", "priority", "time")
+
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
@@ -149,7 +151,7 @@ class Container:
         """Add ``amount``; blocks while it would exceed capacity."""
         if amount < 0:
             raise SimulationError("cannot put a negative amount")
-        event = Event(self.env)
+        event = self.env.event()
         self._putters.append((amount, event))
         self._settle()
         return event
@@ -158,7 +160,7 @@ class Container:
         """Remove ``amount``; blocks until available."""
         if amount < 0:
             raise SimulationError("cannot get a negative amount")
-        event = Event(self.env)
+        event = self.env.event()
         self._getters.append((amount, event))
         self._settle()
         return event
@@ -204,14 +206,14 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Append ``item``; blocks while the store is full."""
-        event = Event(self.env)
+        event = self.env.event()
         self._putters.append((item, event))
         self._settle()
         return event
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Remove and return the first (matching) item; blocks if none."""
-        event = Event(self.env)
+        event = self.env.event()
         self._getters.append((predicate, event))
         self._settle()
         return event

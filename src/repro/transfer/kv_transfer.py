@@ -159,6 +159,7 @@ class KvTransferManager:
         self.kv_in = CudaStream(env, name=f"{name}.kv_in", obs=obs)
         self.kv_out = CudaStream(env, name=f"{name}.kv_out", obs=obs)
         self._daemon_interval = daemon_interval
+        self._daemon_wake: Optional[Event] = None
         self.name = name
         self._tracer = obs.tracer
         scope = obs.scoped(f"kv.{name}")
@@ -259,6 +260,7 @@ class KvTransferManager:
         self.kv_in.record(event)
         # Rule ❸: source CPU blocks stay unavailable until the copy is done.
         self.move_list.add(cpu_blocks, event)
+        self._kick_daemon()
         kv.last_transfer = event
         kv.location = "gpu"
         self.stats.swap_in_count += 1
@@ -304,10 +306,36 @@ class KvTransferManager:
         self.stats.data_wait += self.env.now - start
 
     # -- internal -----------------------------------------------------------
+    def _kick_daemon(self) -> None:
+        """Wake the reclaim daemon after adding to the move list."""
+        wake = self._daemon_wake
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+
     def _reclaim_daemon(self) -> Generator:
-        """Periodically reclaim move-list blocks (Figure 10, step ⑧)."""
+        """Reclaim move-list blocks while any are in flight (Fig. 10, step ⑧).
+
+        Reclamation happens on a fixed ``daemon_interval`` tick grid, but
+        the daemon sleeps on a wake event whenever the move list is empty
+        instead of polling forever — the idle-polling version dominated
+        the whole simulation's event count.  When woken it re-aligns to
+        the grid, so blocks are freed at the same instants the
+        always-polling daemon would have freed them.
+        """
+        env = self.env
+        interval = self._daemon_interval
         while True:
-            yield self.env.timeout(self._daemon_interval)
+            if not self.move_list.entries:
+                self._daemon_wake = env.event()
+                yield self._daemon_wake
+                self._daemon_wake = None
+                # First check happens at the next grid tick strictly
+                # after the add (the add loses same-instant ties to the
+                # daemon's already-queued timeout, so "strictly after").
+                remainder = env.now % interval
+                yield env.timeout(interval - remainder if remainder > 0.0 else interval)
+            else:
+                yield env.timeout(interval)
             freed = self.move_list.reclaim(self.cpu_cache)
             if freed:
                 self.stats.charge_control(1)

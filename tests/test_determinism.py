@@ -5,10 +5,11 @@ end-to-end serve — schedulers, engines, transfers, daemons — must be a
 pure function of (trace, configuration).
 """
 
-from repro.core import AegaeonConfig, AegaeonServer
+from repro.core import AegaeonConfig, AegaeonServer, build_system
 from repro.baselines import ServerlessLLM
 from repro.hardware import Cluster, H800
 from repro.models import market_mix
+from repro.obs import ObsConfig
 from repro.sim import Environment
 from repro.workload import sharegpt, synthesize_trace
 
@@ -46,3 +47,63 @@ class TestDeterminism:
             return [(r.request_id, tuple(r.token_times)) for r in result.requests]
 
         assert run() == run()
+
+
+def _canonical(value):
+    """Make a metric snapshot comparable: NaN (empty-histogram summary
+    statistics) compares unequal to itself, so map it to a sentinel."""
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    if isinstance(value, float) and value != value:
+        return "nan"
+    return value
+
+
+def run_unified_with_metrics(seed):
+    """One unified-API serve with the metrics layer on; returns the
+    full observable surface: metric snapshot, end time, kernel counters."""
+    env = Environment()
+    system = build_system(
+        "aegaeon",
+        env,
+        AegaeonConfig(
+            prefill_instances=1,
+            decode_instances=2,
+            cluster="h800-quad",
+            obs=ObsConfig.metrics_only(),
+        ),
+    )
+    models = market_mix(6)
+    trace = synthesize_trace(
+        models, [0.15] * 6, sharegpt(), horizon=40.0, seed=seed
+    )
+    result = system.serve(trace)
+    return {
+        "metrics": _canonical(result.metrics),
+        "end_time": result.end_time,
+        "sim_now": env.now,
+        "steps": env.steps_executed,
+        "requests": [
+            (r.request_id, r.prefill_start, r.finish_time, tuple(r.token_times))
+            for r in result.requests
+        ],
+    }
+
+
+class TestMetricSnapshotDeterminism:
+    """The kernel freelists/fast paths must not leak into results: two
+    serves of the same seeded trace give identical metric snapshots."""
+
+    def test_snapshots_bitwise_identical(self):
+        first = run_unified_with_metrics(11)
+        second = run_unified_with_metrics(11)
+        assert first["metrics"] == second["metrics"]
+        assert first["end_time"] == second["end_time"]
+        assert first["sim_now"] == second["sim_now"]
+        assert first["steps"] == second["steps"]
+        assert first["requests"] == second["requests"]
+
+    def test_snapshot_is_nontrivial(self):
+        snapshot = run_unified_with_metrics(11)
+        assert snapshot["metrics"], "metrics layer produced an empty snapshot"
+        assert snapshot["requests"], "trace produced no requests"

@@ -258,3 +258,36 @@ class TestExporters:
         assert lines[0] == "metric,value"
         assert "cache/hits,2" in lines
         assert any(line.startswith("kv/wait.p99,") for line in lines)
+
+
+class TestDisabledPathAllocationFree:
+    """The disabled observability path must be allocation-free: every
+    span/instant on a disabled tracer resolves to shared no-op
+    singletons and records nothing."""
+
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = NULL_OBS.tracer
+        assert not tracer.enabled
+        a = tracer.span("x", cat="c", track="t")
+        b = tracer.span("y")
+        assert a is b
+        with a:
+            pass
+        assert len(tracer) == 0
+
+    def test_disabled_instant_and_counter_record_nothing(self):
+        tracer = NULL_OBS.tracer
+        tracer.instant("evt", cat="c", track="t", detail=1)
+        assert len(tracer) == 0
+        counter = NULL_OBS.scoped("scope").counter("n")
+        other = NULL_OBS.scoped("other").counter("m")
+        counter.inc()
+        other.inc(5)
+        assert len(NULL_OBS.metrics) == 0
+
+    def test_null_gauge_and_histogram_are_inert(self):
+        gauge = NULL_OBS.scoped("s").gauge("g")
+        gauge.set_fn(lambda: 1.0)
+        histogram = NULL_OBS.scoped("s").histogram("h")
+        histogram.observe(0.5)
+        assert len(NULL_OBS.metrics) == 0

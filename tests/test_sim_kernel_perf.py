@@ -1,0 +1,225 @@
+"""Kernel freelist, lazy-cancellation, and failure-path semantics.
+
+The performance overhaul recycles :class:`Event`/:class:`Timeout`/
+:class:`Process` objects through per-environment freelists and drops
+cancelled timeouts lazily at heap pop.  These tests pin down the safety
+contract: recycling must never corrupt an object something still holds,
+an unobserved failure must survive to ``env.run()`` with its exception
+intact, and none of it may perturb simulation results.
+"""
+
+import pytest
+
+from repro.sim import Environment, Event, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestUnobservedFailure:
+    def test_unobserved_failure_surfaces_at_run(self, env):
+        """An event failed with no observer must raise from env.run(),
+        not be silently recycled into the freelist."""
+
+        def proc(env):
+            event = env.event()
+            event.fail(RuntimeError("boom"))
+            # Nobody yields on `event`; drop the reference entirely so
+            # the run loop is the sole holder when it dispatches it.
+            del event
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+
+    def test_observed_failure_is_defused_and_raises_in_process(self, env):
+        caught = []
+
+        def proc(env):
+            event = env.event()
+            event.fail(ValueError("expected"))
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(exc)
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert len(caught) == 1
+        assert str(caught[0]) == "expected"
+
+    def test_recycled_failed_event_does_not_pin_exception(self, env):
+        """A defused failure's event may be recycled, but a fresh event
+        from the pool must come back clean (no stale exception/value)."""
+
+        def proc(env):
+            event = env.event()
+            event.fail(ValueError("transient"))
+            try:
+                yield event
+            except ValueError:
+                pass
+            del event
+            yield env.timeout(0.1)  # give the loop a chance to recycle
+            fresh = env.event()
+            assert fresh.callbacks == []
+            assert not fresh.triggered
+            assert not fresh.processed
+            fresh.succeed("clean")
+            value = yield fresh
+            assert value == "clean"
+
+        env.process(proc(env))
+        env.run()
+
+
+class TestFreelistSafety:
+    def test_externally_held_events_keep_their_values(self, env):
+        """Events a process keeps a handle on are never reused out from
+        under it: their values survive long after processing."""
+        held = []
+
+        def proc(env):
+            for i in range(50):
+                event = env.event()
+                event.succeed(i)
+                held.append(event)
+                yield env.timeout(0.1)
+
+        env.process(proc(env))
+        env.run()
+        assert [event.value for event in held] == list(range(50))
+
+    def test_recycling_happens_and_pool_is_bounded(self, env):
+        def proc(env):
+            for _ in range(500):
+                yield env.timeout(0.01)
+
+        env.process(proc(env))
+        env.run()
+        assert env.events_recycled > 0
+        assert len(env._timeout_pool) <= 4096
+
+    def test_ping_pong_deterministic_with_recycling(self):
+        """Heavy freelist churn must not change event ordering."""
+
+        def run():
+            env = Environment()
+            log = []
+
+            def ping(env):
+                for i in range(200):
+                    yield env.timeout(0.5)
+                    log.append(("ping", i, env.now))
+
+            def pong(env):
+                for i in range(200):
+                    yield env.timeout(0.7)
+                    log.append(("pong", i, env.now))
+
+            env.process(ping(env))
+            env.process(pong(env))
+            env.run()
+            return log, env.events_recycled
+
+        first_log, first_recycled = run()
+        second_log, second_recycled = run()
+        assert first_log == second_log
+        assert first_recycled == second_recycled
+        assert first_recycled > 0
+
+
+class TestLazyCancellation:
+    def test_cancelled_timeout_never_fires(self, env):
+        fired = []
+
+        def proc(env):
+            doomed = env.timeout(5.0, value="doomed")
+            doomed.callbacks.append(lambda ev: fired.append(ev))
+            assert doomed.cancel()
+            yield env.timeout(10.0)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == []
+        assert env.now == 10.0
+        assert env.events_cancelled == 1
+
+    def test_cancelled_timeout_does_not_count_as_step(self, env):
+        def proc(env):
+            for _ in range(10):
+                doomed = env.timeout(100.0)
+                doomed.cancel()
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        assert env.events_cancelled == 10
+        # Only real dispatches count: the process init + 10 sleeps.
+        assert env.steps_executed < 10 + 10 + 5
+
+    def test_interrupt_cancels_orphaned_timeout(self, env):
+        """Interrupting a process sleeping on a timeout must lazily
+        cancel that timeout instead of leaving it to fire into nothing."""
+
+        def sleeper(env):
+            try:
+                yield env.timeout(1000.0)
+            except Interrupt:
+                yield env.timeout(1.0)
+
+        def waker(env, victim):
+            yield env.timeout(2.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(waker(env, victim))
+        steps_before = None
+
+        env.run(until=3.5)
+        # The interrupted sleep resumed immediately and finished at t=3.
+        assert env.now == pytest.approx(3.5)
+        steps_before = env.steps_executed
+        env.run()
+        # Draining the queue pops the 1000 s orphan: the clock advances
+        # (parity with the pre-freelist kernel, where the orphan fired
+        # into an empty callback list) but no step is dispatched for it.
+        assert env.events_cancelled >= 1
+        assert env.steps_executed == steps_before
+
+
+class TestPooledEventReuse:
+    def test_pool_roundtrip_resets_state(self, env):
+        """Force a pool round trip and verify every reinitialized field."""
+
+        def proc(env):
+            first = env.event()
+            first.succeed("payload")
+            yield first
+            del first
+            yield env.timeout(0.1)
+            second = env.event()
+            assert not second.triggered
+            assert second.callbacks == []
+            assert not second.processed
+            yield env.timeout(0.1)
+
+        env.process(proc(env))
+        env.run()
+
+    def test_direct_event_construction_still_works(self, env):
+        """Event(env) bypasses the pool and must behave identically."""
+        event = Event(env)
+        event.succeed(42)
+        result = []
+
+        def proc(env):
+            result.append((yield event))
+
+        env.process(proc(env))
+        env.run()
+        assert result == [42]
