@@ -1,0 +1,233 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is an immutable list of fault records — *what* goes
+wrong, *where*, and *when* in simulated time.  Plans are pure data: the
+:class:`~repro.chaos.injector.FaultInjector` turns each record into an
+ordinary simulation event at attach time, so a run under a fault plan is
+exactly as deterministic as a run without one.
+
+Plans come from two places:
+
+* hand-written, for targeted regression scenarios
+  (``FaultPlan.of(InstanceFailure(at=12.0, instance="decode1"), ...)``);
+* :meth:`FaultPlan.seeded`, which draws a randomized-but-reproducible
+  plan from a seed — the chaos suite's bread and butter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "FetchFailure",
+    "TransferStall",
+    "LinkThrottle",
+    "InstanceFailure",
+    "LatencySpike",
+    "Fault",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FetchFailure:
+    """Fail the next ``count`` remote checkpoint fetches on an engine.
+
+    Each failed fetch wastes ``wasted`` seconds before the failure
+    surfaces (a registry timeout); the loader then retries with
+    exponential backoff, so a plan with ``count`` below the loader's
+    retry budget degrades the run without losing requests.
+    """
+
+    at: float
+    engine: str = "*"  # engine name, or "*" for every engine
+    count: int = 1
+    wasted: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.count < 1 or self.wasted < 0:
+            raise ValueError(f"invalid fetch failure: {self!r}")
+
+
+@dataclass(frozen=True)
+class TransferStall:
+    """Occupy a KV stream for ``duration`` seconds.
+
+    Delivered as an ordinary stream op, so it serializes with in-flight
+    copies exactly like a hung DMA: work already enqueued completes,
+    work enqueued after the stall waits it out.
+    """
+
+    at: float
+    engine: str = "*"
+    direction: str = "in"  # "in" (swap-in stream) or "out" (swap-out)
+    duration: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"direction must be 'in' or 'out': {self!r}")
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError(f"invalid transfer stall: {self!r}")
+
+
+@dataclass(frozen=True)
+class LinkThrottle:
+    """Degrade a host link's bandwidth by ``factor`` for ``duration`` s.
+
+    Models a congested or downtrained PCIe link: everything on the link
+    (weight loads, KV swaps) slows down together.
+    """
+
+    at: float
+    engine: str = "*"
+    direction: str = "both"  # "h2d", "d2h", or "both"
+    factor: float = 4.0
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("h2d", "d2h", "both"):
+            raise ValueError(f"bad link direction: {self!r}")
+        if self.at < 0 or self.factor <= 1.0 or self.duration <= 0:
+            raise ValueError(f"invalid link throttle: {self!r}")
+
+
+@dataclass(frozen=True)
+class InstanceFailure:
+    """Take one named instance (its GPU / TP group) offline mid-run."""
+
+    at: float
+    instance: str = ""
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or not self.instance:
+            raise ValueError(f"invalid instance failure: {self!r}")
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Multiply an engine's compute latency by ``factor`` for a window.
+
+    Models thermal throttling / noisy neighbours: prefill and decode
+    step times inflate, which the schedulers see through their
+    step-time estimates.
+    """
+
+    at: float
+    engine: str = "*"
+    factor: float = 2.0
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.factor <= 1.0 or self.duration <= 0:
+            raise ValueError(f"invalid latency spike: {self!r}")
+
+
+Fault = Union[FetchFailure, TransferStall, LinkThrottle, InstanceFailure, LatencySpike]
+
+#: Fault kinds eligible for seeded generation.  InstanceFailure is only
+#: drawn when the caller names candidate instances — the generator
+#: cannot guess instance names.
+_SEEDED_KINDS = ("fetch", "stall", "throttle", "spike", "kill")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults, ordered by injection time."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int | None = None  # provenance, when drawn by :meth:`seeded`
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        """Build a plan from explicit fault records."""
+        return cls(faults=tuple(sorted(faults, key=lambda f: f.at)))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        horizon: float,
+        count: int = 4,
+        instances: Sequence[str] = (),
+        max_kills: int = 1,
+    ) -> "FaultPlan":
+        """Draw a reproducible random plan over ``[0, horizon)``.
+
+        ``instances`` names the instances eligible for
+        :class:`InstanceFailure`; at most ``max_kills`` are drawn so a
+        seeded plan cannot depopulate a pool.  The same ``(seed,
+        horizon, count, instances, max_kills)`` always yields the same
+        plan.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = np.random.default_rng(seed)
+        kinds = [k for k in _SEEDED_KINDS if k != "kill" or instances]
+        kills_left = max_kills
+        faults: list[Fault] = []
+        for _ in range(count):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            # Keep faults off the very end of the horizon so their
+            # effects land while traffic is still flowing.
+            at = float(rng.uniform(0.05, 0.9) * horizon)
+            if kind == "kill" and kills_left > 0:
+                kills_left -= 1
+                faults.append(
+                    InstanceFailure(
+                        at=at,
+                        instance=str(instances[int(rng.integers(len(instances)))]),
+                    )
+                )
+            elif kind == "fetch":
+                faults.append(
+                    FetchFailure(
+                        at=at,
+                        count=int(rng.integers(1, 3)),
+                        wasted=float(rng.uniform(0.05, 0.5)),
+                    )
+                )
+            elif kind == "stall":
+                faults.append(
+                    TransferStall(
+                        at=at,
+                        direction="in" if rng.random() < 0.5 else "out",
+                        duration=float(rng.uniform(0.1, 1.5)),
+                    )
+                )
+            elif kind == "throttle":
+                faults.append(
+                    LinkThrottle(
+                        at=at,
+                        factor=float(rng.uniform(2.0, 8.0)),
+                        duration=float(rng.uniform(0.5, 3.0)),
+                    )
+                )
+            else:  # spike, or a "kill" drawn after the budget ran out
+                faults.append(
+                    LatencySpike(
+                        at=at,
+                        factor=float(rng.uniform(1.5, 3.0)),
+                        duration=float(rng.uniform(0.5, 2.0)),
+                    )
+                )
+        faults.sort(key=lambda fault: fault.at)
+        return cls(faults=tuple(faults), seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def kind_counts(self) -> dict[str, int]:
+        """Fault count per kind name (for logs and plan summaries)."""
+        counts: dict[str, int] = {}
+        for fault in self.faults:
+            name = type(fault).__name__
+            counts[name] = counts.get(name, 0) + 1
+        return counts

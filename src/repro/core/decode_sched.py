@@ -96,7 +96,13 @@ class BatchedDecodeScheduler:
         self._opened_counter = scope.counter("batches_opened")
 
     def dispatch(self, request: Request) -> DecodeInstanceLike:
-        """Place a prefilled request; returns the chosen instance."""
+        """Place a prefilled request; returns the chosen instance.
+
+        Raises ``LookupError`` when every decode instance has been
+        removed (failed) — the server turns that into a failure.
+        """
+        if not self.instances:
+            raise LookupError("no live decode instances")
         # Prefer an existing batch of the same model with room.
         for instance in self.instances:
             for batch in instance.work_list:

@@ -21,8 +21,9 @@ from ..engine.request import Phase, Request
 from ..models.catalog import ModelSpec
 from ..models.kv import kv_shape
 from ..obs import NULL_OBS, Observability
-from ..sim import Environment, Event
+from ..sim import Environment, Event, Interrupt
 from ..transfer.kv_transfer import RequestKv
+from ..transfer.loader import CheckpointFetchError
 from .decode_sched import (
     DecodeBatch,
     QMAX,
@@ -51,13 +52,18 @@ class PrefillInstance:
         engine: AegaeonEngine,
         on_prefilled: Callable[[Request], None],
         name: str = "prefill",
+        on_failed: Optional[Callable[[Request], None]] = None,
         obs: Observability = NULL_OBS,
     ):
         self.env = env
         self.engine = engine
         self.on_prefilled = on_prefilled
+        self.on_failed = on_failed
+        self.fetch_aborts = 0
         self.name = name
         self.groups: list[PrefillGroup] = []
+        self.dead = False
+        self._inflight: Optional[Request] = None
         self._wake: Optional[Event] = None
         self._tracer = obs.tracer
         if obs.enabled:
@@ -90,18 +96,60 @@ class PrefillInstance:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
 
+    def fail(self) -> list[Request]:
+        """Take this instance offline (its GPUs died); returns orphans.
+
+        The in-flight job and every queued request are harvested for the
+        server to reschedule; the driver process is interrupted at its
+        current wait.  Stream ops already issued complete harmlessly —
+        the failure granularity is the host-visible job, not the DMA.
+        """
+        if self.dead:
+            return []
+        self.dead = True
+        orphans: list[Request] = []
+        if self._inflight is not None:
+            orphans.append(self._inflight)
+            self._inflight = None
+        for group in self.groups:
+            orphans.extend(group.requests)
+            group.requests.clear()
+        self.groups.clear()
+        for gpu in self.engine.gpus:
+            gpu.healthy = False
+        if self.process.is_alive and self.process.target is not None:
+            self.process.interrupt("instance failure")
+        return orphans
+
     # -- main loop -------------------------------------------------------------
     def _run(self) -> Generator:
-        while True:
-            if not self.groups:
-                yield from self._sleep()
-                continue
-            group = self.groups[0]
-            if group.exhausted:
-                self.groups.pop(0)
-                continue
-            request = group.requests.popleft()
-            yield from self._execute(group.spec, request)
+        try:
+            while True:
+                if not self.groups:
+                    yield from self._sleep()
+                    continue
+                group = self.groups[0]
+                if group.exhausted:
+                    self.groups.pop(0)
+                    continue
+                request = group.requests.popleft()
+                self._inflight = request
+                try:
+                    yield from self._execute(group.spec, request)
+                except CheckpointFetchError:
+                    # Retry budget exhausted: the registry is persistently
+                    # unreachable for this model.  Fail the request rather
+                    # than wedging the whole queue behind it.
+                    self.fetch_aborts += 1
+                    if request.kv is not None:
+                        self.engine.kv.abort_request(request.kv)
+                        request.kv = None
+                    request.token_times.clear()
+                    if self.on_failed is not None:
+                        self.on_failed(request)
+                self._inflight = None
+        except Interrupt:
+            return  # instance failure: fail() already harvested state
 
     def _sleep(self) -> Generator:
         self._wake = self.env.event()
@@ -182,16 +230,20 @@ class DecodeInstance:
         name: str = "decode",
         max_batch_size: int = 32,
         qmax: float = QMAX,
+        on_failed: Optional[Callable[[Request], None]] = None,
         obs: Observability = NULL_OBS,
     ):
         self.env = env
         self.engine = engine
         self.slo = slo
         self.on_finished = on_finished
+        self.on_failed = on_failed
         self.name = name
         self.max_batch_size = max_batch_size
         self.qmax = qmax
         self.work_list: list[DecodeBatch] = []
+        self.dead = False
+        self.fetch_aborts = 0
         self._wake: Optional[Event] = None
         self.rounds = 0
         self.turns = 0
@@ -223,14 +275,44 @@ class DecodeInstance:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
 
+    def fail(self) -> list[Request]:
+        """Take this instance offline (its GPUs died); returns orphans.
+
+        Finished requests still sitting in a batch complete normally;
+        every other request is harvested for the server to reschedule.
+        """
+        if self.dead:
+            return []
+        self.dead = True
+        orphans: list[Request] = []
+        for batch in self.work_list:
+            for request in list(batch.requests):
+                if request.finished:
+                    if request.kv is not None and request.kv.location == "gpu":
+                        self.engine.kv.free_gpu(request.kv)
+                    request.complete(self.env.now)
+                    self.on_finished(request)
+                else:
+                    orphans.append(request)
+            batch.requests.clear()
+        self.work_list.clear()
+        for gpu in self.engine.gpus:
+            gpu.healthy = False
+        if self.process.is_alive and self.process.target is not None:
+            self.process.interrupt("instance failure")
+        return orphans
+
     # -- main loop -------------------------------------------------------------
     def _run(self) -> Generator:
-        while True:
-            self._prune()
-            if not self.work_list:
-                yield from self._sleep()
-                continue
-            yield from self._round()
+        try:
+            while True:
+                self._prune()
+                if not self.work_list:
+                    yield from self._sleep()
+                    continue
+                yield from self._round()
+        except Interrupt:
+            return  # instance failure: fail() already harvested state
 
     def _sleep(self) -> Generator:
         self._wake = self.env.event()
@@ -288,7 +370,14 @@ class DecodeInstance:
         engine = self.engine
         current = engine.current_model
         if current is None or current.name != batch.spec.name:
-            yield from engine.scale_to(batch.spec)
+            try:
+                yield from engine.scale_to(batch.spec)
+            except CheckpointFetchError:
+                # Persistently unreachable checkpoint: fail this model's
+                # batch instead of wedging the rotation behind it.
+                self.fetch_aborts += 1
+                self._abort_batch(batch)
+                return
         self._prefetch_after(batch)
         yield from self._swap_in_batch(batch)
         # Figure 10's overlap: while this turn decodes, the *next*
@@ -420,6 +509,16 @@ class DecodeInstance:
             self.engine.kv.stats.charge_wait(
                 batch.requests[0].request_id, self.env.now - start
             )
+
+    def _abort_batch(self, batch: DecodeBatch) -> None:
+        """Fail every request in ``batch`` (checkpoint unreachable)."""
+        for request in list(batch.requests):
+            if request.kv is not None:
+                self.engine.kv.abort_request(request.kv)
+                request.kv = None
+            if self.on_failed is not None:
+                self.on_failed(request)
+        batch.requests.clear()
 
     def _retire_finished(self, batch: DecodeBatch) -> None:
         if not any(r.finished for r in batch.requests):

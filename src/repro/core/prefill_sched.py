@@ -85,7 +85,13 @@ class GroupedPrefillScheduler:
         self._opened_counter = scope.counter("groups_opened")
 
     def dispatch(self, request: Request) -> PrefillInstanceLike:
-        """Place one request; returns the instance that received it."""
+        """Place one request; returns the instance that received it.
+
+        Raises ``LookupError`` when every prefill instance has been
+        removed (failed) — the server turns that into a rejection.
+        """
+        if not self.instances:
+            raise LookupError("no live prefill instances")
         # Lines 4-8: prioritize an existing group for this model.
         for instance in self.instances:
             for group in instance.groups:

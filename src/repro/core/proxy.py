@@ -26,6 +26,8 @@ class StatusRegistry:
     statuses: dict[int, str] = field(default_factory=dict)
     submitted: int = 0
     finished: int = 0
+    failed: int = 0
+    rejected: int = 0
 
     def update(self, request: Request) -> None:
         """Record a request's current phase."""
@@ -35,10 +37,14 @@ class StatusRegistry:
         self.statuses[request.request_id] = request.phase.value
         if request.phase is Phase.FINISHED and previous != Phase.FINISHED.value:
             self.finished += 1
+        elif request.phase is Phase.FAILED and previous != Phase.FAILED.value:
+            self.failed += 1
+        elif request.phase is Phase.REJECTED and previous != Phase.REJECTED.value:
+            self.rejected += 1
 
     @property
     def in_flight(self) -> int:
-        return self.submitted - self.finished
+        return self.submitted - self.finished - self.failed - self.rejected
 
 
 class ProxyLayer:

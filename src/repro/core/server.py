@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..engine.engine import AegaeonEngine, EngineConfig
-from ..engine.request import Request
+from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
@@ -38,6 +38,11 @@ from .slo import DEFAULT_SLO, SloSpec
 __all__ = ["AegaeonConfig", "AegaeonServer"]
 
 GiB = 1024**3
+
+# Grace period before a failed instance's orphans are requeued — the
+# timeout half of timeout-and-requeue (the proxy tier would take this
+# long to notice the instance stopped heartbeating).
+ORPHAN_REQUEUE_DELAY = 0.01
 
 
 @dataclass(frozen=True)
@@ -111,7 +116,7 @@ class AegaeonServer(ServingSystemBase):
             self.prefill_instances.append(
                 PrefillInstance(
                     env, engine, self._on_prefilled, name=f"prefill{index}",
-                    obs=self.obs,
+                    on_failed=self.note_failed, obs=self.obs,
                 )
             )
         for index in range(config.decode_instances):
@@ -137,24 +142,45 @@ class AegaeonServer(ServingSystemBase):
                     self.note_finished,
                     name=f"decode{index}",
                     max_batch_size=config.max_batch_size,
+                    on_failed=self.note_failed,
                     obs=self.obs,
                 )
             )
+        # The schedulers get their own dispatch lists: a failed instance
+        # leaves the dispatch list but stays in the pool lists, so
+        # engines()/statistics keep covering it.
         self.prefill_scheduler = GroupedPrefillScheduler(
-            self.prefill_instances, obs=self.obs
+            list(self.prefill_instances), obs=self.obs
         )
         self.decode_scheduler = BatchedDecodeScheduler(
-            self.decode_instances, obs=self.obs
+            list(self.decode_instances), obs=self.obs
         )
+        self.instance_failures = 0
+        self.orphans_requeued = 0
+        scope = self.obs.scoped("server")
+        self._failures_counter = scope.counter("instance_failures")
+        self._requeue_counter = scope.counter("orphans_requeued")
 
     # -- plumbing -----------------------------------------------------------
     def dispatch(self, request: Request) -> None:
         """Route one arriving request into the prefill phase."""
-        self.prefill_scheduler.dispatch(request)
+        try:
+            self.prefill_scheduler.dispatch(request)
+        except LookupError:
+            # Every prefill instance is gone: shed load at admission.
+            self.note_rejected(request)
 
     def _on_prefilled(self, request: Request) -> None:
         self.registry.update(request)
-        self.decode_scheduler.dispatch(request)
+        try:
+            self.decode_scheduler.dispatch(request)
+        except LookupError:
+            # No decode pool left; the prefilled KV cannot be consumed.
+            engine = self.prefill_instances[0].engine if self.prefill_instances else None
+            if request.kv is not None and engine is not None:
+                engine.kv.abort_request(request.kv)
+                request.kv = None
+            self.note_failed(request)
 
     def engines(self) -> list[AegaeonEngine]:
         """Every engine in the pool, prefill partition first."""
@@ -162,6 +188,79 @@ class AegaeonServer(ServingSystemBase):
             instance.engine
             for instance in [*self.prefill_instances, *self.decode_instances]
         ]
+
+    # -- degraded mode -------------------------------------------------------
+    def fail_instance(self, name: str) -> None:
+        """Take one named instance (its TP group of GPUs) offline.
+
+        The instance leaves its scheduler's dispatch list immediately;
+        its orphaned requests are requeued after a short grace period
+        (timeout-and-requeue).  The instance object stays in the pool
+        lists so per-engine statistics survive the failure.
+
+        Raises ``KeyError`` for an unknown instance name.
+        """
+        for instance in [*self.prefill_instances, *self.decode_instances]:
+            if instance.name == name:
+                break
+        else:
+            raise KeyError(f"no instance named {name!r}")
+        orphans = instance.fail()
+        if instance in self.prefill_scheduler.instances:
+            self.prefill_scheduler.instances.remove(instance)
+        if instance in self.decode_scheduler.instances:
+            self.decode_scheduler.instances.remove(instance)
+        self.instance_failures += 1
+        self._failures_counter.inc()
+        self.obs.tracer.instant(
+            "instance_failure", cat="chaos", track="server",
+            instance=name, orphans=len(orphans),
+        )
+        if orphans:
+            self.env.process(self._requeue_orphans(instance, orphans))
+
+    def _requeue_orphans(self, instance, orphans: list[Request]):
+        """Process: reschedule a dead instance's requests after a grace."""
+        yield self.env.timeout(ORPHAN_REQUEUE_DELAY)
+        for request in orphans:
+            self._reschedule(instance, request)
+
+    def _reschedule(self, instance, request: Request) -> None:
+        """Route one orphaned request back into the pipeline.
+
+        A request whose KV sits in the shared CPU cache rejoins decoding
+        directly; anything else lost its KV with the device and restarts
+        from prefill.
+        """
+        kv = request.kv
+        if kv is not None and kv.location == "cpu":
+            try:
+                self.decode_scheduler.dispatch(request)
+            except LookupError:
+                instance.engine.kv.abort_request(kv)
+                request.kv = None
+                self.note_failed(request)
+                return
+            self.orphans_requeued += 1
+            self._requeue_counter.inc()
+            return
+        if kv is not None:
+            instance.engine.kv.abort_request(kv)
+            request.kv = None
+        request.token_times.clear()
+        request.phase = Phase.QUEUED
+        request.prefill_start = None
+        request.prefill_end = None
+        request.decode_enqueue = None
+        request.decode_exec_time = 0.0
+        self.registry.update(request)
+        try:
+            self.prefill_scheduler.dispatch(request)
+        except LookupError:
+            self.note_failed(request)
+            return
+        self.orphans_requeued += 1
+        self._requeue_counter.inc()
 
     # -- operation -----------------------------------------------------------
     def warm(self, models: list[ModelSpec]) -> None:

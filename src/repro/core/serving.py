@@ -18,7 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional, Protocol, runtime_checkable
 
 from ..engine.engine import AegaeonEngine, ScaleRecord
-from ..engine.request import Request
+from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..hardware.gpu import H800
 from ..obs import NULL_OBS, ObsConfig, Observability
@@ -123,7 +123,18 @@ class ServingSystemBase:
         self.registry = StatusRegistry()
         self.proxy = ProxyLayer(env, self.dispatch, self.registry)
         self.finished: list[Request] = []
+        self.failed: list[Request] = []
+        self.rejected: list[Request] = []
+        self.fault_injector = None
+        self.invariant_checker = None
         self.gpu_count = 0
+        scope = self.obs.scoped("serving")
+        self._failed_counter = scope.counter("requests_failed")
+        self._rejected_counter = scope.counter("requests_rejected")
+        # REPRO_INVARIANTS=1 turns on continuous invariant checking for
+        # every run without touching call sites (used suite-wide in CI).
+        if os.environ.get("REPRO_INVARIANTS"):
+            self.attach_invariants()
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.gauge("in_flight", scope="proxy").set_fn(
@@ -161,6 +172,26 @@ class ServingSystemBase:
         """KV transfer statistics, aggregated across :meth:`engines`."""
         return [engine.kv.stats for engine in self.engines()]
 
+    # -- chaos attachment ----------------------------------------------------
+    def attach_faults(self, plan) -> "object":
+        """Arm a :class:`~repro.chaos.FaultPlan` against this run."""
+        from ..chaos.injector import FaultInjector
+
+        self.fault_injector = FaultInjector(self, plan, obs=self.obs)
+        return self.fault_injector
+
+    def attach_invariants(self, interval: float = 0.5) -> "object":
+        """Attach a runtime :class:`~repro.chaos.InvariantChecker`.
+
+        Idempotent; :meth:`serve` runs a final check and raises on any
+        recorded violation before collecting results.
+        """
+        from ..chaos.invariants import InvariantChecker
+
+        if self.invariant_checker is None:
+            self.invariant_checker = InvariantChecker(self, interval=interval)
+        return self.invariant_checker
+
     # -- common plumbing ----------------------------------------------------
     def note_finished(self, request: Request) -> None:
         """Record a completed request."""
@@ -174,6 +205,39 @@ class ServingSystemBase:
             model=request.model,
         )
 
+    def note_failed(self, request: Request) -> None:
+        """Record a request given up on mid-flight (degraded mode)."""
+        request.phase = Phase.FAILED
+        self.registry.update(request)
+        self.failed.append(request)
+        self._failed_counter.inc()
+        self.obs.tracer.instant(
+            "request_failed",
+            cat="lifecycle",
+            track="proxy",
+            request_id=request.request_id,
+            model=request.model,
+        )
+
+    def note_rejected(self, request: Request) -> None:
+        """Record a request turned away at admission (no live capacity)."""
+        request.phase = Phase.REJECTED
+        self.registry.update(request)
+        self.rejected.append(request)
+        self._rejected_counter.inc()
+        self.obs.tracer.instant(
+            "request_rejected",
+            cat="lifecycle",
+            track="proxy",
+            request_id=request.request_id,
+            model=request.model,
+        )
+
+    @property
+    def accounted(self) -> int:
+        """Requests with a final disposition: finished, failed, rejected."""
+        return len(self.finished) + len(self.failed) + len(self.rejected)
+
     def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
         """Replay ``trace`` to completion or the drain deadline."""
         self.prepare(trace)
@@ -181,12 +245,15 @@ class ServingSystemBase:
         deadline = until if until is not None else trace.horizon + self.drain_grace
 
         def watchdog():
-            while len(self.finished) < len(trace.requests):
+            while self.accounted < len(trace.requests):
                 if self.env.now >= deadline:
                     return
                 yield self.env.timeout(1.0)
 
         self.env.run(until=self.env.process(watchdog()))
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_now()
+            self.invariant_checker.assert_clean()
         return self.collect(trace)
 
     def collect(self, trace: Trace) -> "ServingResult":
@@ -360,7 +427,14 @@ def available_systems() -> list[str]:
     return sorted(_BUILDERS)
 
 
-def build_system(name: str, env: Environment, config=None) -> "ServingSystem":
+def build_system(
+    name: str,
+    env: Environment,
+    config=None,
+    *,
+    faults=None,
+    invariants: bool = False,
+) -> "ServingSystem":
     """Construct any registered serving system by name.
 
     ``config`` is the system's config dataclass (``AegaeonConfig``,
@@ -368,6 +442,11 @@ def build_system(name: str, env: Environment, config=None) -> "ServingSystem":
     :class:`UnifiedConfig`) or ``None`` for that system's defaults; the
     cluster is built from the config's ``cluster`` preset and the
     observability layer from its ``obs`` level.
+
+    ``faults`` arms a :class:`~repro.chaos.FaultPlan` against the run;
+    ``invariants=True`` attaches a runtime
+    :class:`~repro.chaos.InvariantChecker` (``serve`` then raises on any
+    recorded violation).
     """
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
@@ -377,4 +456,9 @@ def build_system(name: str, env: Environment, config=None) -> "ServingSystem":
         raise ValueError(
             f"unknown serving system {name!r}; known: {available_systems()}"
         ) from None
-    return builder(env, config)
+    system = builder(env, config)
+    if faults is not None:
+        system.attach_faults(faults)
+    if invariants:
+        system.attach_invariants()
+    return system

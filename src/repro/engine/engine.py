@@ -40,7 +40,7 @@ from ..models.latency import LatencyModel
 from ..obs import NULL_OBS, Observability
 from ..sim import Environment
 from ..transfer.kv_transfer import KvTransferManager, MoveList
-from ..transfer.loader import NaiveLoader, QuickLoader
+from ..transfer.loader import CheckpointFetchError, NaiveLoader, QuickLoader
 from ..transfer.streams import CudaEvent, CudaStream
 from .init_stages import DEFAULT_INIT_COSTS, InitStageCosts
 
@@ -162,6 +162,10 @@ class AegaeonEngine:
         self._fresh_boot_done = pre_initialized and config.reuse_components
         self.scale_history: list[ScaleRecord] = []
         self.busy_time = 0.0
+        # Chaos surface: compute-latency multiplier (thermal throttling /
+        # noisy neighbours).  Scales prefill and decode-step times, so
+        # the schedulers see the slowdown through their estimates.
+        self.perf_factor = 1.0
         self._tracer = obs.tracer
         scope = obs.scoped(name)
         self._switch_counter = scope.counter("switches")
@@ -349,7 +353,13 @@ class AegaeonEngine:
                 with tracer.span("model_load", cat="switch.stage", track=self.name):
                     if self.config.explicit_memory:
                         allocation = self.weights.alloc(nbytes, tag=f"weights:{spec.name}")
-                        yield from self.quick_loader.load(spec.name, nbytes)
+                        try:
+                            yield from self.quick_loader.load(spec.name, nbytes)
+                        except CheckpointFetchError:
+                            # Abandoned switch: give the extent back so
+                            # repeated failures cannot bleed the buffer.
+                            self.weights.retire(allocation)
+                            raise
                         self._current_weights = allocation
                     else:
                         self.weights.reset(0)
@@ -373,7 +383,7 @@ class AegaeonEngine:
     def prefill(self, spec: ModelSpec, input_lengths: list[int]) -> Generator:
         """Process: run one prefill batch; returns its duration."""
         self._require_active(spec)
-        duration = self.latency_model(spec).prefill_time(input_lengths)
+        duration = self.latency_model(spec).prefill_time(input_lengths) * self.perf_factor
         # The disabled-tracer path must stay allocation-free, so the span
         # (and its kwargs dict) is only built when recording.
         tracer = self._tracer
@@ -390,7 +400,7 @@ class AegaeonEngine:
 
     def decode_step_time(self, spec: ModelSpec, batch: int, context: int) -> float:
         """Predicted duration of one decode step (Eq. 6)."""
-        return self.latency_model(spec).decode_step_time(batch, context)
+        return self.latency_model(spec).decode_step_time(batch, context) * self.perf_factor
 
     def decode_for(self, spec: ModelSpec, duration: float) -> Generator:
         """Process: occupy the default stream decoding for ``duration``."""

@@ -26,6 +26,8 @@ class Phase(enum.Enum):
     PREFILLING = "prefilling"
     DECODING = "decoding"  # includes waiting in a work list
     FINISHED = "finished"
+    FAILED = "failed"  # gave up mid-flight (e.g. retries exhausted)
+    REJECTED = "rejected"  # turned away at admission (no live capacity)
 
 
 @dataclass

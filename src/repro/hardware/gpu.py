@@ -100,6 +100,9 @@ class Gpu:
     node_index: int = 0
     reserved_bytes: int = 0
     labels: dict[str, str] = field(default_factory=dict)
+    # Cleared when chaos takes the device offline; schedulers and the
+    # invariant checker treat an unhealthy GPU's instance as dead.
+    healthy: bool = True
 
     @property
     def free_bytes(self) -> int:

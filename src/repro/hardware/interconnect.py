@@ -46,6 +46,25 @@ class Link:
         """Duration of a single transfer, excluding queueing."""
         return self.latency + nbytes / self.bandwidth
 
+    def throttle(self, factor: float) -> None:
+        """Divide bandwidth by ``factor`` (a congested/downtrained link).
+
+        Only transfers that *start* while throttled are slowed —
+        in-flight transfers sampled the old bandwidth, mirroring how a
+        DMA burst already issued is unaffected by later link state.
+        Overlapping throttles compose multiplicatively; pair each call
+        with one :meth:`restore` of the same factor.
+        """
+        if factor <= 1.0:
+            raise ValueError("throttle factor must exceed 1.0")
+        self.bandwidth /= factor
+
+    def restore(self, factor: float) -> None:
+        """Undo one :meth:`throttle` of the same ``factor``."""
+        if factor <= 1.0:
+            raise ValueError("restore factor must exceed 1.0")
+        self.bandwidth *= factor
+
     def transfer(self, nbytes: int) -> Generator:
         """Process: move ``nbytes`` across the link (queues if busy)."""
         if nbytes < 0:

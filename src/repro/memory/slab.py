@@ -137,6 +137,11 @@ class SlabAllocator:
         self._block_bytes: dict[Hashable, int] = {}
         self._held_bytes = 0
         self.peak_held_bytes = 0
+        # Plain-int lifetime totals, always live (unlike the obs
+        # counters below, inert under NULL_OBS) — the invariant checker
+        # reconciles allocated - freed against live blocks every tick.
+        self.blocks_allocated = 0
+        self.blocks_freed = 0
         self.name = name
         scope = obs.scoped(name)
         self._blocks_allocated = scope.counter("blocks_allocated")
@@ -194,6 +199,7 @@ class SlabAllocator:
                 used.add(block_index)
                 append(KvBlock(slab_index, block_index, shape, block_nbytes))
                 remaining -= 1
+        self.blocks_allocated += count
         self._blocks_allocated.inc(count)
         return blocks
 
@@ -215,6 +221,7 @@ class SlabAllocator:
             slab.free_blocks.append(block_index)
             if not used:
                 self._release_slab(slab)
+        self.blocks_freed += len(blocks)
         self._blocks_freed.inc(len(blocks))
 
     # -- capacity ------------------------------------------------------------

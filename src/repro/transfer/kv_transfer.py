@@ -156,6 +156,10 @@ class KvTransferManager:
         self.move_list = move_list if move_list is not None else MoveList()
         self.fine_grained = fine_grained
         self.stats = TransferStats()
+        # GPU block lists handed to in-flight swap-outs: no longer owned
+        # by a request, not yet returned to the allocator.  The invariant
+        # checker sums these when reconciling GPU-cache occupancy.
+        self.inflight_sources: list[list[KvBlock]] = []
         self.kv_in = CudaStream(env, name=f"{name}.kv_in", obs=obs)
         self.kv_out = CudaStream(env, name=f"{name}.kv_out", obs=obs)
         self._daemon_interval = daemon_interval
@@ -192,6 +196,31 @@ class KvTransferManager:
         if kv.location == "gpu":
             kv.location = "none"
 
+    def abort_request(self, kv: RequestKv) -> None:
+        """Dispose of a request's KV when its instance dies mid-flight.
+
+        GPU blocks the request still owns are freed immediately (the
+        device is gone; nothing will touch them).  CPU blocks are freed
+        unless an in-flight transfer still covers them — a swap-in's
+        source blocks already sit on the move list under ``last_transfer``
+        and will be reclaimed by the daemon, so freeing them here would
+        double-free.  Blocks handed to an in-flight swap-out are not on
+        the request anymore and release through their own completion.
+        """
+        if kv.gpu_blocks:
+            self.gpu_cache.free(kv.gpu_blocks)
+            kv.gpu_blocks = []
+        if kv.cpu_blocks:
+            if kv.last_transfer is not None and not kv.last_transfer.query():
+                # Defer to the transfer's completion (rule ❸ discipline).
+                self.move_list.add(kv.cpu_blocks, kv.last_transfer)
+                self._kick_daemon()
+            else:
+                self.cpu_cache.free(kv.cpu_blocks)
+            kv.cpu_blocks = []
+        kv.location = "none"
+        self.stats.charge_control(1)
+
     def gpu_capacity_blocks(self, shape: KvShape, block_tokens: int) -> int:
         """How many more blocks of ``shape`` the GPU cache can hold."""
         return self.gpu_cache.capacity_for(shape, shape.block_bytes(block_tokens))
@@ -216,8 +245,10 @@ class KvTransferManager:
         event = CudaEvent(self.env, name=f"out.r{kv.request_id}")
         gpu_blocks = kv.gpu_blocks
         kv.gpu_blocks = []
+        self.inflight_sources.append(gpu_blocks)
 
         def release_source() -> None:
+            self.inflight_sources.remove(gpu_blocks)
             self.gpu_cache.free(gpu_blocks)
 
         self.kv_out.copy(self.link.d2h, kv.nbytes, on_done=release_source)

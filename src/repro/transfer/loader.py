@@ -20,7 +20,7 @@ contends with KV swap-ins exactly as it would on real hardware.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from ..hardware.interconnect import DuplexLink
 from ..memory.model_cache import HostModelCache
@@ -28,9 +28,21 @@ from ..models.latency import NAIVE_LOAD_BANDWIDTH, PCIE_BETA
 from ..sim import Environment
 from .streams import CudaEvent, CudaStream
 
-__all__ = ["QuickLoader", "NaiveLoader"]
+__all__ = ["CheckpointFetchError", "QuickLoader", "NaiveLoader"]
 
 GiB = 1024**3
+
+
+class CheckpointFetchError(RuntimeError):
+    """A remote checkpoint fetch failed past the loader's retry budget."""
+
+    def __init__(self, model: str, attempts: int):
+        super().__init__(
+            f"checkpoint fetch for {model!r} failed {attempts} time(s); "
+            "retry budget exhausted"
+        )
+        self.model = model
+        self.attempts = attempts
 
 
 class QuickLoader:
@@ -56,6 +68,14 @@ class QuickLoader:
         self.remote_bandwidth = remote_bandwidth
         self.loads = 0
         self.remote_fetches = 0
+        # Chaos surface: consulted once per remote fetch attempt.  None
+        # means the attempt succeeds; a float is the seconds wasted
+        # before the failure surfaces (a registry timeout).
+        self.fetch_disruptor: Optional[Callable[[str], Optional[float]]] = None
+        self.max_fetch_retries = 4
+        self.fetch_backoff_base = 0.05  # doubles per retry
+        self.fetch_failures = 0
+        self.fetch_retries = 0
 
     # -- estimates (used by the schedulers) -----------------------------------
     def load_time(self, nbytes: int, cached: bool = True) -> float:
@@ -67,12 +87,35 @@ class QuickLoader:
 
     # -- loading -----------------------------------------------------------------
     def ensure_cached(self, model: str, nbytes: int) -> Generator:
-        """Process: make the checkpoint resident in the host cache."""
+        """Process: make the checkpoint resident in the host cache.
+
+        Fetch attempts may be failed by an installed ``fetch_disruptor``;
+        each failure wastes its reported seconds, then the loader backs
+        off exponentially and retries, up to ``max_fetch_retries`` times.
+        Exhausting the budget raises :class:`CheckpointFetchError`.
+        """
         if self.model_cache.lookup(model):
             return
-        self.remote_fetches += 1
-        yield self.env.timeout(nbytes / self.remote_bandwidth)
-        self.model_cache.insert(model, nbytes)
+        attempt = 0
+        while True:
+            self.remote_fetches += 1
+            wasted = (
+                self.fetch_disruptor(model)
+                if self.fetch_disruptor is not None
+                else None
+            )
+            if wasted is None:
+                yield self.env.timeout(nbytes / self.remote_bandwidth)
+                self.model_cache.insert(model, nbytes)
+                return
+            self.fetch_failures += 1
+            if wasted > 0:
+                yield self.env.timeout(wasted)
+            if attempt >= self.max_fetch_retries:
+                raise CheckpointFetchError(model, attempt + 1)
+            yield self.env.timeout(self.fetch_backoff_base * (2**attempt))
+            attempt += 1
+            self.fetch_retries += 1
 
     def load(
         self,

@@ -1,0 +1,1 @@
+"""Test package (needed so modules can share `tests.strategies`)."""

@@ -1,0 +1,23 @@
+"""Suite-wide pytest configuration: hypothesis profiles.
+
+Profiles (select with ``--hypothesis-profile=NAME``):
+
+* ``dev`` (default) — the settings the suite has always run with: each
+  test's own ``@settings`` example counts, no global deadline.
+* ``ci`` — deeper and deterministic for the chaos-smoke job: twice the
+  default example count (tests that pin ``max_examples`` explicitly
+  keep their pinned budget), derandomized so a red CI run reproduces
+  locally.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=200,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("dev")

@@ -1,0 +1,119 @@
+"""Shared hypothesis strategies for the repro test suite.
+
+One place for the domain vocabulary the property tests keep re-deriving:
+model/GPU names from the paper's catalog, realistic prompt lengths and
+batch shapes, the decode-quota parameter space (Eqs. 2-3), allocator
+op-sequences, and seeded chaos fault plans.  Test modules import from
+here instead of redefining ad-hoc `st.*` bounds, so "what counts as a
+realistic workload" is defined exactly once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.chaos import FaultPlan
+from repro.hardware import GPU_PRESETS
+from repro.models import MODEL_CATALOG
+
+__all__ = [
+    "MiB",
+    "MODEL_NAMES",
+    "GPU_NAMES",
+    "model_names",
+    "gpu_names",
+    "prompt_lengths",
+    "batch_sizes",
+    "context_tokens",
+    "arrivals",
+    "token_counts",
+    "emission_rates",
+    "step_times",
+    "switch_costs",
+    "alloc_sizes",
+    "slab_operations",
+    "fault_seeds",
+    "fault_plans",
+]
+
+MiB = 1024**2
+
+MODEL_NAMES = sorted(MODEL_CATALOG)
+GPU_NAMES = sorted(GPU_PRESETS)
+
+# -- catalog sampling ---------------------------------------------------------
+model_names = st.sampled_from(MODEL_NAMES)
+gpu_names = st.sampled_from(GPU_NAMES)
+
+# -- request shapes -----------------------------------------------------------
+#: Prompt lengths spanning chat one-liners to long documents.
+prompt_lengths = st.integers(min_value=1, max_value=8192)
+#: Decode batch sizes up to the server's configured maximum.
+batch_sizes = st.integers(min_value=1, max_value=64)
+#: Total KV context a decode step attends over.
+context_tokens = st.integers(min_value=1, max_value=65536)
+
+# -- SLO / token-timing space -------------------------------------------------
+arrivals = st.floats(min_value=0, max_value=100)
+token_counts = st.integers(min_value=1, max_value=200)
+#: Per-token emission intervals strictly faster than the 100 ms TBT.
+emission_rates = st.floats(min_value=0.001, max_value=0.099)
+
+# -- decode quota equations (Eqs. 2-3) ----------------------------------------
+#: Per-batch step-time estimates: from tiny models to near-TBT.
+step_times = st.lists(
+    st.floats(min_value=0.002, max_value=0.09), min_size=2, max_size=10
+)
+#: Summed auto-scaling cost of a round's model switches.
+switch_costs = st.floats(min_value=0.01, max_value=20.0)
+
+# -- allocators ---------------------------------------------------------------
+#: Byte sizes for bump-allocator sequences.
+alloc_sizes = st.integers(min_value=1, max_value=2000)
+
+
+def slab_operations(
+    shapes: int = 4, max_blocks: int = 12, max_size: int = 60
+) -> st.SearchStrategy:
+    """Sequences of ``(action, shape_id, block_count)`` slab-allocator ops.
+
+    ``action`` is ``"alloc"`` or ``"free"``; ``shape_id`` indexes one of
+    ``shapes`` distinct KV shapes; ``block_count`` is how many blocks
+    the op touches.  Drives interleaved multi-shape churn against a
+    :class:`~repro.memory.SlabAllocator`.
+    """
+    return st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free"]),
+            st.integers(min_value=0, max_value=shapes - 1),
+            st.integers(min_value=1, max_value=max_blocks),
+        ),
+        max_size=max_size,
+    )
+
+
+# -- chaos --------------------------------------------------------------------
+fault_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def fault_plans(
+    horizon: float,
+    instances: tuple[str, ...] = (),
+    max_faults: int = 6,
+    max_kills: int = 1,
+) -> st.SearchStrategy:
+    """Seeded :class:`~repro.chaos.FaultPlan` drawn over ``[0, horizon)``.
+
+    The strategy only draws the ``(seed, count)`` pair and delegates to
+    :meth:`FaultPlan.seeded`, so every generated plan is reproducible
+    from its ``plan.seed`` — shrinking reduces to smaller seeds and
+    fewer faults, and a failing example can be replayed by hand.
+    """
+    return st.builds(
+        FaultPlan.seeded,
+        seed=fault_seeds,
+        horizon=st.just(horizon),
+        count=st.integers(min_value=1, max_value=max_faults),
+        instances=st.just(tuple(instances)),
+        max_kills=st.just(max_kills),
+    )

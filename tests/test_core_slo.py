@@ -6,6 +6,8 @@ from hypothesis import given, strategies as st
 
 from repro.core import DEFAULT_SLO, SloSpec, token_deadlines, tokens_met
 
+from .strategies import arrivals, emission_rates, token_counts
+
 
 class TestSloSpec:
     def test_paper_defaults(self):
@@ -73,11 +75,7 @@ class TestTokensMet:
     def test_empty(self):
         assert tokens_met(0.0, [], DEFAULT_SLO) == (0, 0)
 
-    @given(
-        arrival=st.floats(min_value=0, max_value=100),
-        count=st.integers(min_value=1, max_value=200),
-        rate=st.floats(min_value=0.001, max_value=0.099),
-    )
+    @given(arrival=arrivals, count=token_counts, rate=emission_rates)
     def test_generation_faster_than_tbt_always_meets(self, arrival, count, rate):
         # Tokens emitted faster than the TBT, starting within TTFT,
         # can never miss a deadline.

@@ -4,23 +4,20 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware import A10, GPU_PRESETS, H800
-from repro.models import (
-    LatencyModel,
-    MODEL_CATALOG,
-    get_model,
-    switch_time,
-)
+from repro.models import LatencyModel, get_model, switch_time
 
-MODEL_NAMES = sorted(MODEL_CATALOG)
-GPU_NAMES = sorted(GPU_PRESETS)
+from .strategies import (
+    batch_sizes,
+    context_tokens,
+    gpu_names,
+    model_names,
+    prompt_lengths,
+)
 
 
 class TestPrefillProperties:
     @settings(max_examples=50, deadline=None)
-    @given(
-        model=st.sampled_from(MODEL_NAMES),
-        length=st.integers(min_value=1, max_value=8192),
-    )
+    @given(model=model_names, length=prompt_lengths)
     def test_positive_and_finite(self, model, length):
         latency = LatencyModel(get_model(model), H800)
         time = latency.prefill_time([length])
@@ -28,7 +25,7 @@ class TestPrefillProperties:
 
     @settings(max_examples=50, deadline=None)
     @given(
-        model=st.sampled_from(MODEL_NAMES),
+        model=model_names,
         short=st.integers(min_value=1, max_value=2048),
         extra=st.integers(min_value=1, max_value=2048),
     )
@@ -53,11 +50,7 @@ class TestPrefillProperties:
 
 class TestDecodeProperties:
     @settings(max_examples=50, deadline=None)
-    @given(
-        model=st.sampled_from(MODEL_NAMES),
-        batch=st.integers(min_value=1, max_value=64),
-        context=st.integers(min_value=1, max_value=65536),
-    )
+    @given(model=model_names, batch=batch_sizes, context=context_tokens)
     def test_positive_and_bounded(self, model, batch, context):
         latency = LatencyModel(get_model(model), H800)
         time = latency.decode_step_time(batch, context)
@@ -76,7 +69,7 @@ class TestDecodeProperties:
         )
 
     @settings(max_examples=30, deadline=None)
-    @given(model=st.sampled_from(MODEL_NAMES))
+    @given(model=model_names)
     def test_batching_improves_per_token_efficiency(self, model):
         # Decoding is memory-bound: 8 requests in one step cost far less
         # than 8 separate steps.
@@ -100,10 +93,7 @@ class TestCrossHardwareProperties:
         assert slow.decode_step_time(4, length) > fast.decode_step_time(4, length)
 
     @settings(max_examples=40, deadline=None)
-    @given(
-        model=st.sampled_from(MODEL_NAMES),
-        gpu=st.sampled_from(GPU_NAMES),
-    )
+    @given(model=model_names, gpu=gpu_names)
     def test_switch_time_scales_with_weights(self, model, gpu):
         spec = get_model(model)
         device = GPU_PRESETS[gpu]

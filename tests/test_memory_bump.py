@@ -5,6 +5,8 @@ from hypothesis import given, strategies as st
 
 from repro.memory import BumpAllocator
 
+from .strategies import alloc_sizes
+
 KiB = 1024
 
 
@@ -103,9 +105,7 @@ class TestCompact:
 
 
 class TestBumpProperties:
-    @given(
-        sizes=st.lists(st.integers(min_value=1, max_value=2000), max_size=30)
-    )
+    @given(sizes=st.lists(alloc_sizes, max_size=30))
     def test_no_overlap_and_in_bounds(self, sizes):
         allocator = BumpAllocator(capacity=100_000, alignment=64)
         allocations = []

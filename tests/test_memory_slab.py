@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.memory import SlabAllocator
 from repro.models import get_model, kv_shape
 
-MiB = 1024**2
+from .strategies import MiB, slab_operations
 
 
 @pytest.fixture
@@ -94,16 +94,7 @@ class TestRealKvShapes:
 
 class TestSlabProperties:
     @settings(max_examples=60, deadline=None)
-    @given(
-        operations=st.lists(
-            st.tuples(
-                st.sampled_from(["alloc", "free"]),
-                st.integers(min_value=0, max_value=3),  # shape id
-                st.integers(min_value=1, max_value=12),  # block count
-            ),
-            max_size=60,
-        )
-    )
+    @given(operations=slab_operations(shapes=4, max_blocks=12, max_size=60))
     def test_accounting_invariants(self, operations):
         allocator = SlabAllocator(region_bytes=64 * MiB, slab_bytes=4 * MiB)
         block_bytes = {0: 256 * 1024, 1: 512 * 1024, 2: 1 * MiB, 3: 4 * MiB}

@@ -11,15 +11,11 @@ from repro.core import (
 )
 from repro.models import get_model
 
+from .strategies import step_times, switch_costs
+
 
 def batches(count):
     return [DecodeBatch(spec=get_model("Qwen-7B")) for _ in range(count)]
-
-
-step_times = st.lists(
-    st.floats(min_value=0.002, max_value=0.09), min_size=2, max_size=10
-)
-switch_costs = st.floats(min_value=0.01, max_value=20.0)
 
 
 class TestQuotaProperties:

@@ -186,3 +186,65 @@ class TestStatsAccounting:
         assert manager.stats.swap_in_count == 1
         assert manager.stats.bytes_out == manager.stats.bytes_in == kv.nbytes
         assert manager.stats.control_overhead > 0
+
+
+class TestMidFlightAbort:
+    """Regression: aborting a request while its transfer is still in
+    flight must leave the slab allocators' held/peak accounting exact —
+    no leak, no double free, inflight sources fully drained."""
+
+    def test_abort_during_swap_out(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=1024)
+        manager.alloc_gpu(kv)
+        gpu_peak = manager.gpu_cache.held_bytes
+        manager.swap_out(kv)
+        assert manager.inflight_sources  # copy still in flight
+        manager.abort_request(kv)
+        assert kv.location == "none" and not kv.gpu_blocks and not kv.cpu_blocks
+        env.run(until=10.0)
+        assert manager.gpu_cache.held_bytes == 0
+        assert manager.cpu_cache.held_bytes == 0
+        assert manager.gpu_cache.blocks_allocated == manager.gpu_cache.blocks_freed
+        assert manager.cpu_cache.blocks_allocated == manager.cpu_cache.blocks_freed
+        assert not manager.inflight_sources
+        assert manager.move_list.pending_blocks == 0
+        assert manager.gpu_cache.peak_held_bytes == gpu_peak
+
+    def test_abort_during_swap_in(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=1024)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=5.0)  # let the swap-out finish
+        manager.swap_in(kv)
+        manager.abort_request(kv)
+        env.run(until=10.0)
+        assert manager.gpu_cache.held_bytes == 0
+        assert manager.cpu_cache.held_bytes == 0
+        assert manager.gpu_cache.blocks_allocated == manager.gpu_cache.blocks_freed
+        assert manager.cpu_cache.blocks_allocated == manager.cpu_cache.blocks_freed
+        assert manager.move_list.pending_blocks == 0
+
+    def test_abort_after_settled_swap_out_frees_inline(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=256)
+        manager.alloc_gpu(kv)
+        manager.swap_out(kv)
+        env.run(until=5.0)
+        held = manager.cpu_cache.held_bytes
+        assert held > 0
+        manager.abort_request(kv)
+        # Transfer already completed: blocks free immediately, no
+        # move-list detour needed.
+        assert manager.cpu_cache.held_bytes == 0
+        assert manager.move_list.pending_blocks == 0
+
+    def test_abort_is_not_double_freeable(self, env):
+        manager = make_manager(env)
+        kv = make_kv(tokens=256)
+        manager.alloc_gpu(kv)
+        manager.abort_request(kv)
+        # A second abort of the same (now empty) KV is a no-op.
+        manager.abort_request(kv)
+        assert manager.gpu_cache.held_bytes == 0
