@@ -1,12 +1,20 @@
 """Quickstart: serve many models on a small GPU pool with Aegaeon.
 
-Builds Aegaeon on a 4-GPU cluster through the unified
-``build_system()`` factory, pools it between twelve 6-14B models with
-token-level auto-scaling, replays a synthetic market workload with full
-observability on, and prints per-token SLO attainment, auto-scaling
-statistics, and the per-stage model-switch breakdown rebuilt from the
-trace.  It also writes a Chrome ``trace_event`` timeline you can open
-at chrome://tracing or https://ui.perfetto.dev.
+Builds a serving system on a 4-GPU cluster through the unified
+``build_system()`` factory, pools it between twelve 6-14B models, replays
+a synthetic market workload with full observability on, and prints
+per-token SLO attainment, auto-scaling statistics, and the per-stage
+model-switch breakdown rebuilt from the trace.  It also writes a Chrome
+``trace_event`` timeline you can open at chrome://tracing or
+https://ui.perfetto.dev.
+
+By default this runs Aegaeon under its default policy bundle.  Set
+``REPRO_POLICIES`` to any registered bundle name to steer the run —
+the bundle picks both the policies *and* the serving topology they
+drive (``repro.policy.get_bundle(name).system``), e.g.::
+
+    REPRO_POLICIES=aegaeon-slo-admission python examples/quickstart.py
+    REPRO_POLICIES=muxserve-cost-placement python examples/quickstart.py
 
 Run:  python examples/quickstart.py
 """
@@ -14,30 +22,60 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import AegaeonConfig, build_system
+from repro.core import (
+    AegaeonConfig,
+    MuxServeConfig,
+    RunSettings,
+    ServerlessLLMConfig,
+    UnifiedConfig,
+    build_system,
+)
 from repro.engine import EngineConfig
 from repro.models import market_mix
 from repro.obs import ObsConfig, format_switch_breakdown, write_chrome_trace
+from repro.policy import get_bundle
 from repro.sim import Environment
 from repro.workload import sharegpt, synthesize_trace
 
 TRACE_PATH = "quickstart_trace.json"
 
 
-def main() -> None:
-    # 1. Aegaeon on a simulated 4-GPU node: one prefill instance, three
-    #    decoding instances, all §5 optimizations on, full tracing.
-    env = Environment()
-    server = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
+def quad_config(system: str, obs: ObsConfig):
+    """The smallest sensible 4-GPU deployment of each topology."""
+    if system == "aegaeon":
+        # One prefill instance, three decoding instances, all §5
+        # optimizations on.
+        return AegaeonConfig(
             prefill_instances=1,
             decode_instances=3,
             engine=EngineConfig(),
             cluster="h800-quad",
-            obs=ObsConfig.full(),
-        ),
+            obs=obs,
+        )
+    if system in ("serverless-llm", "serverless-llm+"):
+        return ServerlessLLMConfig(cluster="h800-quad", obs=obs)
+    if system == "muxserve":
+        return MuxServeConfig(cluster="h800-quad", obs=obs)
+    if system.startswith("unified-"):
+        return UnifiedConfig(
+            policy=system.removeprefix("unified-").replace("-", "_"),
+            cluster="h800-quad",
+            obs=obs,
+        )
+    raise ValueError(f"no quickstart config for system {system!r}")
+
+
+def main() -> None:
+    # 1. Pick the policy bundle (REPRO_POLICIES, default: aegaeon) and
+    #    build the topology it steers on a simulated 4-GPU node.
+    settings = RunSettings.from_env()
+    bundle = get_bundle(settings.policies or "aegaeon")
+    env = Environment()
+    server = build_system(
+        bundle.system,
+        env,
+        quad_config(bundle.system, ObsConfig.full()),
+        policies=bundle.name,
     )
 
     # 2. A workload: twelve models, sporadic arrivals, ShareGPT lengths.
@@ -45,29 +83,39 @@ def main() -> None:
     trace = synthesize_trace(
         models, rates=[0.08] * len(models), dataset=sharegpt(), horizon=120.0, seed=7
     )
-    print(f"Serving {len(models)} models / {len(trace)} requests on {server.gpu_count} GPUs...")
+    print(
+        f"Serving {len(models)} models / {len(trace)} requests on "
+        f"{server.gpu_count} GPUs [{server.label}, policies={bundle.name}]..."
+    )
 
     # 3. Serve and report.
     result = server.serve(trace)
+    registry = server.registry
+    assert registry.finished + registry.failed + registry.rejected == registry.submitted
     print()
     print(
         format_table(
             ["metric", "value"],
             [
                 ("requests finished", f"{result.finished_requests}/{len(trace)}"),
+                ("requests rejected", f"{registry.rejected}"),
                 ("SLO attainment", f"{result.slo_attainment():.1%}"),
                 ("mean TTFT", f"{result.summary()['mean_ttft']:.2f} s"),
                 ("models per GPU", f"{len(models) / server.gpu_count:.1f}"),
             ],
-            title="Quickstart results",
+            title=f"Quickstart results ({bundle.name})",
         )
     )
     latencies = result.scaling_latencies()
-    print(
-        f"\nauto-scalings: {len(latencies)}, median "
-        f"{np.median(latencies):.2f} s, near-instant (prefetch) "
-        f"{np.mean(latencies < 0.25):.0%}"
-    )
+    if len(latencies):
+        print(
+            f"\nauto-scalings: {len(latencies)}, median "
+            f"{np.median(latencies):.2f} s, near-instant (prefetch) "
+            f"{np.mean(latencies < 0.25):.0%}"
+        )
+    else:
+        # Static bundles (muxserve) never scale: that is their point.
+        print("\nauto-scalings: none (static placement)")
 
     # 4. The observability layer: per-stage switch breakdown + timeline.
     print()

@@ -1,11 +1,12 @@
 """Baseline serving systems: ServerlessLLM(+), MuxServe, dedicated."""
 
-from .base import BaselineServer
+from .base import BaselineServer, BatcherInstanceBase
 from .muxserve import DedicatedServing, MuxServe, SharedGpuInstance, plan_placement
 from .serverless_llm import ServerlessLLM, ServerlessLLMPlus
 
 __all__ = [
     "BaselineServer",
+    "BatcherInstanceBase",
     "DedicatedServing",
     "MuxServe",
     "ServerlessLLM",

@@ -10,7 +10,13 @@ properties, both reproduced here:
   models whose weights plus a minimum KV reservation exceed VRAM — at
   most two 14B models per 80 GB GPU, so at most ~2 models/GPU of
   pooling (the §7.2 observation that MuxServe serves at most 32 models
-  on 16 GPUs).  Requests for unplaced models are never served.
+  on 16 GPUs).  Requests for unplaced models are shed at admission by
+  the bundle's :class:`~repro.policy.PlacedModelsAdmission`.
+
+The placement rule itself is the bundle's
+:class:`~repro.policy.PlacementPolicy` — memory-constrained first-fit by
+default, or :class:`~repro.policy.CostAwarePlacement` under the
+``muxserve-cost-placement`` bundle on heterogeneous pools.
 """
 
 from __future__ import annotations
@@ -20,27 +26,21 @@ from typing import Generator, Optional
 from ..core.slo import DEFAULT_SLO, SloSpec
 from ..engine.batching import BatchingPolicy, ContinuousBatcher
 from ..engine.block_manager import BlockManager
-from ..engine.request import Phase, Request
+from ..engine.request import Request
 from ..hardware.cluster import Cluster
 from ..hardware.gpu import GpuSpec
 from ..models.catalog import ModelSpec
 from ..models.latency import LatencyModel
 from ..obs import ObsConfig, Observability
-from ..sim import Environment, Event
+from ..policy.placement import MIN_KV_BYTES, MemoryConstrainedPlacement
+from ..sim import Environment
 from ..workload.trace import Trace
-from .base import BaselineServer
+from .base import BaselineServer, BatcherInstanceBase
 
 __all__ = ["MuxServe", "DedicatedServing", "SharedGpuInstance", "plan_placement"]
 
 GiB = 1024**3
 
-# Per-model reservation MuxServe's placement optimizer demands beyond
-# weights: a minimum KV pool plus engine runtime overhead (activations,
-# CUDA context, allocator headroom).  With the paper's 25.1 GB average
-# weights this caps placement at two models per 80 GB GPU — the "at
-# most 32 models on 16 GPUs" observation of §7.2 — and our 6-14B mix
-# lands at the same two-per-GPU packing.
-MIN_KV_BYTES = 16 * GiB
 # Interleave granularity between colocated models (fine-grained
 # temporal multiplexing: a few decode steps per turn, no switch cost).
 MUX_CHUNK_STEPS = 4
@@ -53,29 +53,21 @@ def plan_placement(
     min_kv_bytes: int = MIN_KV_BYTES,
     usable_fraction: float = 0.9,
 ) -> tuple[list[list[ModelSpec]], list[ModelSpec]]:
-    """Greedy memory-constrained placement.
+    """Greedy memory-constrained placement over a homogeneous pool.
 
     Returns (per-GPU model lists, unplaced models).  Models are placed
     first-fit in popularity order (callers pass them most-popular first,
-    matching how an optimizer would prioritize).
+    matching how an optimizer would prioritize).  Kept as a thin wrapper
+    over :class:`~repro.policy.MemoryConstrainedPlacement` for callers
+    that predate the policy layer.
     """
-    budget = int(gpu_spec.vram_bytes * usable_fraction)
-    placements: list[list[ModelSpec]] = [[] for _ in range(gpu_count)]
-    used = [0] * gpu_count
-    unplaced: list[ModelSpec] = []
-    for spec in models:
-        need = spec.weight_bytes + min_kv_bytes
-        for index in range(gpu_count):
-            if used[index] + need <= budget:
-                placements[index].append(spec)
-                used[index] += need
-                break
-        else:
-            unplaced.append(spec)
-    return placements, unplaced
+    policy = MemoryConstrainedPlacement(
+        min_kv_bytes=min_kv_bytes, usable_fraction=usable_fraction
+    )
+    return policy.plan(models, [gpu_spec] * gpu_count)
 
 
-class SharedGpuInstance:
+class SharedGpuInstance(BatcherInstanceBase):
     """One GPU serving a fixed set of colocated models.
 
     Round-robins between colocated models' engines at a fine temporal
@@ -93,11 +85,9 @@ class SharedGpuInstance:
         max_batch_size: int = 32,
         name: str = "mux",
     ):
-        self.env = env
+        super().__init__(env, name, on_finished)
         self.gpu_spec = gpu_spec
         self.tp = tp
-        self.name = name
-        self.on_finished = on_finished
         self.models = {spec.name: spec for spec in models}
         self._latency = {
             spec.name: LatencyModel(spec, gpu_spec, tp=tp) for spec in models
@@ -114,9 +104,9 @@ class SharedGpuInstance:
             )
             for spec in models
         }
-        self._wake: Optional[Event] = None
+        self._order = list(self.batchers)
         self.busy_time = 0.0
-        self.process = env.process(self._run())
+        self._start()
 
     # -- dispatch ----------------------------------------------------------
     def hosts(self, model: str) -> bool:
@@ -126,8 +116,7 @@ class SharedGpuInstance:
     def enqueue(self, request: Request) -> None:
         """Queue a request on its model's engine."""
         self.batchers[request.model].enqueue(request)
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
+        self._kick()
 
     @property
     def active(self) -> bool:
@@ -141,40 +130,24 @@ class SharedGpuInstance:
         )
 
     # -- main loop -----------------------------------------------------------
-    def _run(self) -> Generator:
-        order = list(self.batchers)
-        while True:
-            if not self.active:
-                self._wake = self.env.event()
-                if not self.active:
-                    yield self._wake
-                self._wake = None
+    def _step(self) -> Generator:
+        for model in self._order:
+            batcher = self.batchers[model]
+            if not batcher.has_work:
                 continue
-            for model in order:
-                batcher = self.batchers[model]
-                if not batcher.has_work:
-                    continue
-                yield from self._iteration(model, batcher)
+            yield from self._iteration(model, batcher)
 
     def _iteration(self, model: str, batcher: ContinuousBatcher) -> Generator:
         latency = self._latency[model]
         admitted = batcher.admit_prefills()
         if admitted:
-            for request in admitted:
-                request.phase = Phase.PREFILLING
-                request.prefill_start = self.env.now
+            self._mark_prefilling(admitted)
             duration = latency.prefill_time(
                 [request.input_tokens for request in admitted]
             )
             yield self.env.timeout(duration)
             self.busy_time += duration
-            now = self.env.now
-            for request in admitted:
-                request.prefill_end = now
-                request.record_tokens([now])
-                request.decode_enqueue = now
-            batcher.start_decoding(admitted)
-            self._finish_done(batcher)
+            self._mark_prefilled(batcher, admitted)
             return
         running = batcher.decode_batch()
         if not running:
@@ -186,28 +159,7 @@ class SharedGpuInstance:
         chunk_start = self.env.now
         yield self.env.timeout(steps * step)
         self.busy_time += steps * step
-        for request in running:
-            context_before = request.context_tokens
-            request.record_tokens(
-                [chunk_start + (i + 1) * step for i in range(steps)]
-            )
-            request.decode_exec_time += steps * step
-            try:
-                batcher.block_manager.append_tokens(
-                    request.request_id, context_before, steps
-                )
-            except MemoryError:
-                batcher.block_manager.release(request.request_id)
-                batcher.running.remove(request)
-                request.phase = Phase.QUEUED
-                batcher.waiting.insert(0, request)
-        self._finish_done(batcher)
-
-    def _finish_done(self, batcher: ContinuousBatcher) -> None:
-        for request in [r for r in batcher.running if r.finished]:
-            batcher.retire(request)
-            request.complete(self.env.now)
-            self.on_finished(request)
+        self._account_decode_chunk(batcher, running, chunk_start, step, steps)
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of wall time this GPU ran token generation."""
@@ -219,6 +171,7 @@ class MuxServe(BaselineServer):
     """Static multiplexing across a GPU pool."""
 
     label = "MuxServe"
+    default_policies = "muxserve"
 
     def __init__(
         self,
@@ -228,31 +181,32 @@ class MuxServe(BaselineServer):
         slo: SloSpec = DEFAULT_SLO,
         max_batch_size: int = 32,
         obs: Optional[ObsConfig | Observability] = None,
+        policies=None,
     ):
-        super().__init__(env, slo, obs=obs)
+        super().__init__(env, slo, obs=obs, policies=policies)
         self.cluster = cluster
         self.tp = tp
         self.max_batch_size = max_batch_size
         self.instances: list[SharedGpuInstance] = []
         self.unplaced: set[str] = set()
-        self.rejected: list[Request] = []
         self.gpu_count = len(cluster.gpus)
 
     def prepare(self, trace: Trace) -> None:
-        """Run the placement optimizer over the trace's model set."""
+        """Run the bundle's placement policy over the trace's model set."""
         counts = trace.per_model_counts()
         models = sorted(
             trace.models, key=lambda spec: counts.get(spec.name, 0), reverse=True
         )
         slots = len(self.cluster.gpus) // self.tp
-        placements, unplaced = plan_placement(
-            models, slots, self.cluster.gpus[0].spec
+        slot_specs = [self.cluster.gpus[index * self.tp].spec for index in range(slots)]
+        placements, unplaced = self.policies.placement.plan(
+            models, slot_specs, tracer=self.obs.tracer
         )
         self.unplaced = {spec.name for spec in unplaced}
         self.instances = [
             SharedGpuInstance(
                 self.env,
-                self.cluster.gpus[0].spec,
+                slot_specs[index],
                 placed,
                 self.note_finished,
                 tp=self.tp,
@@ -268,15 +222,12 @@ class MuxServe(BaselineServer):
         return sum(len(instance.models) for instance in self.instances)
 
     def dispatch(self, request: Request) -> None:
-        if request.model in self.unplaced:
-            # No capacity was ever provisioned for this model; the
-            # request counts fully against SLO attainment.
-            self.rejected.append(request)
+        # Unplaced models were already shed at admission by the bundle's
+        # PlacedModelsAdmission; route among the hosting instances.
+        target = self.policies.dispatch.place(self, request)
+        if target is None:
+            self.note_rejected(request)
             return
-        candidates = [
-            instance for instance in self.instances if instance.hosts(request.model)
-        ]
-        target = min(candidates, key=lambda instance: instance.load())
         target.enqueue(request)
 
 
@@ -284,6 +235,7 @@ class DedicatedServing(BaselineServer):
     """The §3 strawman: one dedicated instance per model, no sharing."""
 
     label = "Dedicated"
+    default_policies = "muxserve"
 
     def __init__(
         self,
@@ -293,8 +245,9 @@ class DedicatedServing(BaselineServer):
         slo: SloSpec = DEFAULT_SLO,
         max_batch_size: int = 32,
         obs: Optional[ObsConfig | Observability] = None,
+        policies=None,
     ):
-        super().__init__(env, slo, obs=obs)
+        super().__init__(env, slo, obs=obs, policies=policies)
         self.gpu_spec = gpu_spec
         self.tp = tp
         self.max_batch_size = max_batch_size

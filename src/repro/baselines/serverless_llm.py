@@ -10,7 +10,10 @@ and conventional vLLM-style continuous batching, isolating scheduling
 granularity as the differentiator — exactly the paper's comparison.
 
 ``ServerlessLLMPlus`` (§7.1) extends it with oracle Shortest-Job-First
-ordering over the waiting queue.
+ordering over the waiting queue.  Both the queue order and the routing
+rule come from the system's policy bundle
+(:class:`~repro.policy.RequestLevelScaling`,
+:class:`~repro.policy.AffinityBacklogDispatch`).
 """
 
 from __future__ import annotations
@@ -21,15 +24,15 @@ from ..core.slo import DEFAULT_SLO, SloSpec
 from ..engine.batching import BatchingPolicy, ContinuousBatcher
 from ..engine.block_manager import BlockManager
 from ..engine.engine import AegaeonEngine, EngineConfig
-from ..engine.request import Phase, Request
+from ..engine.request import Request
 from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
 from ..models.catalog import ModelSpec
 from ..obs import ObsConfig, Observability
-from ..sim import Environment, Event
+from ..sim import Environment
 from ..workload.trace import Trace
-from .base import BaselineServer
+from .base import BaselineServer, BatcherInstanceBase
 
 __all__ = ["ServerlessLLM", "ServerlessLLMPlus"]
 
@@ -39,7 +42,7 @@ GiB = 1024**3
 DECODE_CHUNK_STEPS = 16
 
 
-class _ServerlessInstance:
+class _ServerlessInstance(BatcherInstanceBase):
     """One GPU (or TP group) running whole requests for one model at a time."""
 
     def __init__(
@@ -49,14 +52,12 @@ class _ServerlessInstance:
         server: "ServerlessLLM",
         name: str,
     ):
-        self.env = env
+        super().__init__(env, name, server.note_finished)
         self.engine = engine
         self.server = server
-        self.name = name
         self.waiting: list[Request] = []
         self.batcher: Optional[ContinuousBatcher] = None
-        self._wake: Optional[Event] = None
-        self.process = env.process(self._run())
+        self._start()
 
     # -- dispatch interface ------------------------------------------------
     @property
@@ -87,25 +88,16 @@ class _ServerlessInstance:
 
     def enqueue(self, request: Request) -> None:
         self.waiting.append(request)
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
+        self._kick()
 
     # -- main loop ----------------------------------------------------------
-    def _run(self) -> Generator:
-        while True:
-            if not self.active:
-                self._wake = self.env.event()
-                if not self.active:
-                    yield self._wake
-                self._wake = None
-                continue
-            if self.batcher is not None and self.batcher.has_work:
-                yield from self._serve_current()
-                continue
-            # Request-level scaling point: running set has drained.
-            target = self._pick_next_model()
-            if target is None:
-                continue
+    def _step(self) -> Generator:
+        if self.batcher is not None and self.batcher.has_work:
+            yield from self._serve_current()
+            return
+        # Request-level scaling point: running set has drained.
+        target = self._pick_next_model()
+        if target is not None:
             yield from self._switch_to(target)
 
     def _pick_next_model(self) -> Optional[ModelSpec]:
@@ -150,19 +142,11 @@ class _ServerlessInstance:
         self.batcher = None if not self.batcher.has_work else self.batcher
 
     def _prefill(self, spec: ModelSpec, admitted: list[Request]) -> Generator:
-        for request in admitted:
-            request.phase = Phase.PREFILLING
-            request.prefill_start = self.env.now
+        self._mark_prefilling(admitted)
         yield from self.engine.prefill(
             spec, [request.input_tokens for request in admitted]
         )
-        now = self.env.now
-        for request in admitted:
-            request.prefill_end = now
-            request.record_tokens([now])
-            request.decode_enqueue = now
-        self.batcher.start_decoding(admitted)
-        self._finish_done()
+        self._mark_prefilled(self.batcher, admitted)
 
     def _decode_chunk(self, spec: ModelSpec) -> Generator:
         running = self.batcher.decode_batch()
@@ -174,34 +158,14 @@ class _ServerlessInstance:
         ))
         chunk_start = self.env.now
         yield from self.engine.decode_for(spec, steps * step)
-        for request in running:
-            context_before = request.context_tokens
-            times = [chunk_start + (i + 1) * step for i in range(steps)]
-            request.record_tokens(times)
-            request.decode_exec_time += steps * step
-            try:
-                self.batcher.block_manager.append_tokens(
-                    request.request_id, context_before, steps
-                )
-            except MemoryError:
-                # vLLM-style preemption: release and recompute later.
-                self.batcher.block_manager.release(request.request_id)
-                self.batcher.running.remove(request)
-                request.phase = Phase.QUEUED
-                self.batcher.waiting.insert(0, request)
-        self._finish_done()
-
-    def _finish_done(self) -> None:
-        for request in [r for r in self.batcher.running if r.finished]:
-            self.batcher.retire(request)
-            request.complete(self.env.now)
-            self.server.note_finished(request)
+        self._account_decode_chunk(self.batcher, running, chunk_start, step, steps)
 
 
 class ServerlessLLM(BaselineServer):
     """Request-level auto-scaling across a GPU pool."""
 
     label = "ServerlessLLM"
+    default_policies = "serverless-llm"
 
     def __init__(
         self,
@@ -213,8 +177,9 @@ class ServerlessLLM(BaselineServer):
         max_batch_size: int = 32,
         model_cache_bytes: int = 1280 * GiB,
         obs: Optional[ObsConfig | Observability] = None,
+        policies=None,
     ):
-        super().__init__(env, slo, obs=obs)
+        super().__init__(env, slo, obs=obs, policies=policies)
         self.max_batch_size = max_batch_size
         available = len(cluster.gpus) // tp
         count = available if instance_count is None else instance_count
@@ -236,6 +201,7 @@ class ServerlessLLM(BaselineServer):
             tp=tp,
             weight_buffer_bytes=weight_buffer,
         )
+        tunables = self.policies.tunables
         self.instances = []
         gpus = cluster.gpus
         for index in range(count):
@@ -251,6 +217,8 @@ class ServerlessLLM(BaselineServer):
                 pre_initialized=True,
                 obs=self.obs,
             )
+            engine.quick_loader.max_fetch_retries = tunables.fetch_max_retries
+            engine.quick_loader.fetch_backoff_base = tunables.fetch_backoff_base
             self.instances.append(
                 _ServerlessInstance(env, engine, self, name=f"sllm{index}")
             )
@@ -258,25 +226,19 @@ class ServerlessLLM(BaselineServer):
 
     # -- policy hooks ------------------------------------------------------
     def order_queue(self, waiting: list[Request], engine: AegaeonEngine) -> None:
-        """FCFS: keep arrival order."""
-        waiting.sort(key=lambda request: request.arrival)
+        """Queue order (FCFS here, oracle SJF in the + bundle)."""
+        self.policies.scaling.order_queue(waiting, engine)
+
+    def admission_pressure(self) -> float:
+        """Least estimated backlog across the pool, in seconds of work."""
+        if not self.instances:
+            return float("inf")
+        return min(instance.estimated_backlog() for instance in self.instances)
 
     # -- dispatch ----------------------------------------------------------
     def dispatch(self, request: Request) -> None:
-        # Affinity first: an instance already serving this model.
-        for instance in self.instances:
-            current = instance.current_model
-            if current is not None and current.name == request.spec.name and instance.active:
-                instance.enqueue(request)
-                return
-        # Otherwise any idle instance (request-level scale-up).
-        for instance in self.instances:
-            if not instance.active:
-                instance.enqueue(request)
-                return
-        # All busy: queue on the least-loaded instance (HOL blocking
-        # territory — the behaviour §3.1 analyzes).
-        target = min(self.instances, key=lambda inst: inst.estimated_backlog())
+        # Affinity → idle → least backlog (the bundle's dispatch policy).
+        target = self.policies.dispatch.place(self, request)
         target.enqueue(request)
 
     def prepare(self, trace: Trace) -> None:
@@ -294,12 +256,4 @@ class ServerlessLLMPlus(ServerlessLLM):
     """ServerlessLLM with oracle Shortest-Job-First queueing (§7.1)."""
 
     label = "ServerlessLLM+"
-
-    def order_queue(self, waiting: list[Request], engine: AegaeonEngine) -> None:
-        def oracle_service_time(request: Request) -> float:
-            latency = engine.latency_model(request.spec)
-            return latency.estimate_service_time(
-                request.input_tokens, request.output_tokens
-            )
-
-        waiting.sort(key=lambda request: (oracle_service_time(request), request.arrival))
+    default_policies = "serverless-llm+"

@@ -8,11 +8,16 @@ weighted turns, sizing each batch's time quota so that the whole round's
 auto-scaling cost ``c`` fits inside the earned slack:
 
     q_i = c / (n_i * (alpha - sum_k 1/n_k))                     (Eq. 2)
-    alpha = max(c / (min_k n_k * QMAX) + sum_k 1/n_k, 0.5)      (Eq. 3)
+    alpha = max(c / (min_k n_k * QMAX) + sum_k 1/n_k, floor)    (Eq. 3)
 
-``1/alpha`` is the round's estimated SLO attainment; the 0.5 floor keeps
-turns short (hence responsive to new batches) when SLOs are comfortably
-met.
+``1/alpha`` is the round's estimated SLO attainment; the alpha floor
+keeps turns short (hence responsive to new batches) when SLOs are
+comfortably met.
+
+The quota mathematics and the placement rule live in
+:mod:`repro.policy` (``WeightedRoundPolicy`` / ``BatchedDecodeDispatch``
+are the defaults); this module keeps the executing scheduler plus
+compatibility re-exports of the math under their historical names.
 """
 
 from __future__ import annotations
@@ -23,6 +28,13 @@ from typing import Optional, Protocol
 from ..engine.request import Request
 from ..models.catalog import ModelSpec
 from ..obs import NULL_OBS, Observability
+from ..policy.decode_turn import (
+    compute_quotas,
+    estimate_round_attainment,
+    reorder_work_list,
+)
+from ..policy.dispatch import BatchedDecodeDispatch
+from ..policy.tunables import DEFAULT_TUNABLES
 from .slo import SloSpec
 
 __all__ = [
@@ -36,8 +48,9 @@ __all__ = [
 ]
 
 # Maximum per-turn quota, seconds; the paper sets 4 s empirically and
-# reports robustness to alternative settings.
-QMAX = 4.0
+# reports robustness to alternative settings.  Canonically a field of
+# :class:`repro.policy.Tunables`; this alias keeps old imports working.
+QMAX = DEFAULT_TUNABLES.qmax
 
 
 @dataclass
@@ -80,16 +93,28 @@ class DecodeInstanceLike(Protocol):
 
 
 class BatchedDecodeScheduler:
-    """Algorithm 2's dispatch side: place prefilled requests in batches."""
+    """Algorithm 2's dispatch side: place prefilled requests in batches.
+
+    The placement *decision* comes from the bundle's
+    :class:`~repro.policy.DispatchPolicy` (default:
+    :class:`~repro.policy.BatchedDecodeDispatch`); the scheduler
+    executes it against its own copy of the instance list — the
+    policy-facing view — so callers' pool lists are never mutated and a
+    failed instance can be removed without touching them.
+    """
 
     def __init__(
         self,
         instances: list[DecodeInstanceLike],
         obs: Observability = NULL_OBS,
+        policy: Optional[BatchedDecodeDispatch] = None,
     ):
         if not instances:
             raise ValueError("need at least one decode instance")
-        self.instances = instances
+        # The scheduler owns its dispatch list (the policy's view);
+        # removing a failed instance must not mutate the caller's pool.
+        self.instances = list(instances)
+        self.policy = policy if policy is not None else BatchedDecodeDispatch()
         self._tracer = obs.tracer
         scope = obs.scoped("decode_sched")
         self._joined_counter = scope.counter("batches_joined")
@@ -103,28 +128,21 @@ class BatchedDecodeScheduler:
         """
         if not self.instances:
             raise LookupError("no live decode instances")
-        # Prefer an existing batch of the same model with room.
-        for instance in self.instances:
-            for batch in instance.work_list:
-                if batch.spec.name == request.spec.name and batch.has_room:
-                    batch.requests.append(request)
-                    instance.kick()
-                    self._joined_counter.inc()
-                    self._note_dispatch(request, "join")
-                    return instance
-        # Otherwise open a batch on the least-loaded instance, where
-        # load is the work-list size (Algorithm 2, line 2).
-        target = min(self.instances, key=lambda inst: len(inst.work_list))
-        batch = DecodeBatch(
-            spec=request.spec,
-            requests=[request],
-            max_size=target.batch_capacity(request.spec),
-        )
-        target.work_list.append(batch)
-        target.kick()
-        self._opened_counter.inc()
-        self._note_dispatch(request, "open")
-        return target
+        instance, batch, decision = self.policy.place_decode(self, request)
+        if batch is not None:
+            batch.requests.append(request)
+            self._joined_counter.inc()
+        else:
+            batch = DecodeBatch(
+                spec=request.spec,
+                requests=[request],
+                max_size=instance.batch_capacity(request.spec),
+            )
+            instance.work_list.append(batch)
+            self._opened_counter.inc()
+        instance.kick()
+        self._note_dispatch(request, decision)
+        return instance
 
     def _note_dispatch(self, request: Request, decision: str) -> None:
         if self._tracer.enabled:
@@ -133,79 +151,3 @@ class BatchedDecodeScheduler:
                 request_id=request.request_id, model=request.model,
                 decision=decision,
             )
-
-
-def reorder_work_list(work_list: list[DecodeBatch]) -> list[DecodeBatch]:
-    """Group batches of the same model adjacently, preserving first-seen order.
-
-    Same-model batches occur when one batch's KV needs exceed the GPU
-    cache; placing them adjacently avoids pointless switches.  When the
-    list is already grouped — the overwhelmingly common case — the input
-    list itself is returned, letting callers skip the copy-back.
-    """
-    order: dict[str, int] = {}
-    sorted_already = True
-    last_index = -1
-    for batch in work_list:
-        index = order.setdefault(batch.spec.name, len(order))
-        if index < last_index:
-            sorted_already = False
-        last_index = index
-    if sorted_already:
-        return work_list
-    indexed = sorted(
-        enumerate(work_list),
-        key=lambda item: (order[item[1].spec.name], item[0]),
-    )
-    return [batch for _, batch in indexed]
-
-
-def compute_quotas(
-    batches: list[DecodeBatch],
-    step_times: list[float],
-    total_switch_cost: float,
-    slo: SloSpec,
-    qmax: float = QMAX,
-) -> list[float]:
-    """Assign the Eq. 2 time quota to every batch in a round.
-
-    ``step_times`` are the estimated per-step decode times ``t_k``;
-    ``total_switch_cost`` is ``c``, the summed auto-scaling overhead of
-    the round's model switches.
-    """
-    if len(batches) != len(step_times):
-        raise ValueError("need one step-time estimate per batch")
-    if not batches:
-        return []
-    # n_k = d / t_k, the tokens one TBT period buys.
-    slack_ratios = [max(slo.tbt / max(t, 1e-9), 1.0 + 1e-9) for t in step_times]
-    inverse_sum = sum(1.0 / n for n in slack_ratios)
-    if total_switch_cost <= 0.0 or len(batches) == 1:
-        # No scaling cost to amortize: turns default to the maximum
-        # quota (a single batch simply keeps decoding).
-        return [qmax] * len(batches)
-    alpha = max(
-        total_switch_cost / (min(slack_ratios) * qmax) + inverse_sum,
-        0.5,
-    )
-    quotas = []
-    for n in slack_ratios:
-        quota = total_switch_cost / (n * (alpha - inverse_sum))
-        quotas.append(min(max(quota, 0.0), qmax))
-    return quotas
-
-
-def estimate_round_attainment(
-    step_times: list[float], total_switch_cost: float, slo: SloSpec, qmax: float = QMAX
-) -> float:
-    """The scheduler's own 1/alpha attainment estimate for a round."""
-    if not step_times:
-        return 1.0
-    slack_ratios = [max(slo.tbt / max(t, 1e-9), 1.0 + 1e-9) for t in step_times]
-    inverse_sum = sum(1.0 / n for n in slack_ratios)
-    if total_switch_cost <= 0.0:
-        return 1.0
-    alpha = max(
-        total_switch_cost / (min(slack_ratios) * qmax) + inverse_sum, 0.5
-    )
-    return min(1.0, 1.0 / alpha)

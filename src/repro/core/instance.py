@@ -10,10 +10,17 @@ simulation process:
 * :class:`DecodeInstance` rotates its work list in weighted round-robin
   turns (Algorithm 2's execution side), swapping KV in/out around each
   turn and prefetching the next model during the current turn.
+
+The *decisions* both loops make — when to preempt the resident model,
+how to order a round, how big each turn's quota is — are delegated to a
+bundle's :class:`~repro.policy.ScalingPolicy` and
+:class:`~repro.policy.DecodeTurnPolicy`; the defaults reproduce the
+pre-policy-layer behaviour exactly.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Generator, Optional
 
 from ..engine.engine import AegaeonEngine
@@ -21,15 +28,14 @@ from ..engine.request import Phase, Request
 from ..models.catalog import ModelSpec
 from ..models.kv import kv_shape
 from ..obs import NULL_OBS, Observability
+from ..policy.base import DecodeTurnPolicy, ScalingPolicy, policy_event
+from ..policy.decode_turn import WeightedRoundPolicy
+from ..policy.scaling import TokenLevelScaling
+from ..policy.tunables import DEFAULT_TUNABLES, Tunables
 from ..sim import Environment, Event, Interrupt
 from ..transfer.kv_transfer import RequestKv
 from ..transfer.loader import CheckpointFetchError
-from .decode_sched import (
-    DecodeBatch,
-    QMAX,
-    compute_quotas,
-    reorder_work_list,
-)
+from .decode_sched import DecodeBatch
 from .prefill_sched import PrefillGroup
 from .slo import SloSpec
 
@@ -39,8 +45,9 @@ __all__ = ["PrefillInstance", "DecodeInstance"]
 # arithmetically; the chunk size bounds how stale the batch composition
 # can get (finished/grown requests are reconciled at chunk boundaries).
 DECODE_CHUNK_STEPS = 16
-# Retry pacing for transient KV-cache pressure.
-ALLOC_RETRY_DELAY = 0.005
+# Retry pacing for transient KV-cache pressure.  Canonically
+# ``Tunables.alloc_retry_delay``; alias kept for old imports.
+ALLOC_RETRY_DELAY = DEFAULT_TUNABLES.alloc_retry_delay
 
 
 class PrefillInstance:
@@ -54,6 +61,8 @@ class PrefillInstance:
         name: str = "prefill",
         on_failed: Optional[Callable[[Request], None]] = None,
         obs: Observability = NULL_OBS,
+        scaling: Optional[ScalingPolicy] = None,
+        tunables: Tunables = DEFAULT_TUNABLES,
     ):
         self.env = env
         self.engine = engine
@@ -63,6 +72,8 @@ class PrefillInstance:
         self.name = name
         self.groups: list[PrefillGroup] = []
         self.dead = False
+        self.scaling: ScalingPolicy = scaling if scaling is not None else TokenLevelScaling()
+        self._alloc_retry_delay = tunables.alloc_retry_delay
         self._inflight: Optional[Request] = None
         self._wake: Optional[Event] = None
         self._tracer = obs.tracer
@@ -169,10 +180,12 @@ class PrefillInstance:
             yield from self._execute_inner(spec, request)
 
     def _execute_inner(self, spec: ModelSpec, request: Request) -> Generator:
-        if (
-            self.engine.current_model is None
-            or self.engine.current_model.name != spec.name
-        ):
+        if self.scaling.should_switch(self.engine, spec):
+            current = self.engine.current_model
+            policy_event(
+                self._tracer, "scale", instance=self.name, phase="prefill",
+                model=spec.name, evicted=None if current is None else current.name,
+            )
             # Look ahead: start prefetching the following group's model
             # while this scale-up runs its non-load stages.
             yield from self.engine.scale_to(spec)
@@ -190,7 +203,7 @@ class PrefillInstance:
                 self.engine.kv.alloc_gpu(request.kv)
                 break
             except MemoryError:
-                yield self.env.timeout(ALLOC_RETRY_DELAY)
+                yield self.env.timeout(self._alloc_retry_delay)
         request.phase = Phase.PREFILLING
         request.prefill_start = self.env.now
         yield from self.engine.prefill(spec, [request.input_tokens])
@@ -204,7 +217,7 @@ class PrefillInstance:
                 self.engine.kv.swap_out(request.kv)
                 break
             except MemoryError:
-                yield self.env.timeout(ALLOC_RETRY_DELAY)
+                yield self.env.timeout(self._alloc_retry_delay)
         if not self.engine.config.fine_grained_sync:
             yield from self.engine.kv.drain()
         request.phase = Phase.DECODING
@@ -229,9 +242,12 @@ class DecodeInstance:
         on_finished: Callable[[Request], None],
         name: str = "decode",
         max_batch_size: int = 32,
-        qmax: float = QMAX,
+        qmax: Optional[float] = None,
         on_failed: Optional[Callable[[Request], None]] = None,
         obs: Observability = NULL_OBS,
+        turn_policy: Optional[DecodeTurnPolicy] = None,
+        scaling: Optional[ScalingPolicy] = None,
+        tunables: Tunables = DEFAULT_TUNABLES,
     ):
         self.env = env
         self.engine = engine
@@ -240,7 +256,15 @@ class DecodeInstance:
         self.on_failed = on_failed
         self.name = name
         self.max_batch_size = max_batch_size
-        self.qmax = qmax
+        if qmax is not None and qmax != tunables.qmax:
+            # The explicit ctor arg wins (ablation harness compatibility).
+            tunables = replace(tunables, qmax=qmax)
+        self._tunables = tunables
+        self.turn_policy: DecodeTurnPolicy = (
+            turn_policy if turn_policy is not None else WeightedRoundPolicy(tunables)
+        )
+        self.scaling: ScalingPolicy = scaling if scaling is not None else TokenLevelScaling()
+        self._alloc_retry_delay = tunables.alloc_retry_delay
         self.work_list: list[DecodeBatch] = []
         self.dead = False
         self.fetch_aborts = 0
@@ -257,6 +281,18 @@ class DecodeInstance:
                 lambda: sum(batch.size for batch in self.work_list)
             )
         self.process = env.process(self._run())
+
+    @property
+    def qmax(self) -> float:
+        """The per-turn quota cap the turn policy currently applies."""
+        return getattr(self.turn_policy, "qmax", self._tunables.qmax)
+
+    @qmax.setter
+    def qmax(self, value: float) -> None:
+        # Ablation hook: rebuild the default turn policy around the new
+        # cap (a custom policy set via the ctor is replaced on purpose).
+        self._tunables = replace(self._tunables, qmax=value)
+        self.turn_policy = WeightedRoundPolicy(self._tunables)
 
     # -- scheduler interface (DecodeInstanceLike) ---------------------------
     def batch_capacity(self, spec: ModelSpec) -> int:
@@ -324,7 +360,7 @@ class DecodeInstance:
         """One full rotation of the work list (Algorithm 2, lines 4-11)."""
         self.rounds += 1
         self._round_counter.inc()
-        reordered = reorder_work_list(self.work_list)
+        reordered = self.turn_policy.order(self.work_list)
         if reordered is not self.work_list:
             self.work_list[:] = reordered
         batches = list(self.work_list)
@@ -336,7 +372,7 @@ class DecodeInstance:
             for batch in batches
         ]
         switch_cost = self._round_switch_cost(batches)
-        quotas = compute_quotas(batches, step_times, switch_cost, self.slo, self.qmax)
+        quotas = self.turn_policy.quotas(batches, step_times, switch_cost, self.slo)
         tracer = self._tracer
         if tracer.enabled:
             with tracer.span(
@@ -368,8 +404,13 @@ class DecodeInstance:
     ) -> Generator:
         """One weighted turn: scale, swap in, decode, swap out."""
         engine = self.engine
-        current = engine.current_model
-        if current is None or current.name != batch.spec.name:
+        if self.scaling.should_switch(engine, batch.spec):
+            current = engine.current_model
+            policy_event(
+                self._tracer, "scale", instance=self.name, phase="decode",
+                model=batch.spec.name,
+                evicted=None if current is None else current.name,
+            )
             try:
                 yield from engine.scale_to(batch.spec)
             except CheckpointFetchError:
@@ -405,16 +446,8 @@ class DecodeInstance:
         return len({batch.spec.name for batch in self.work_list if not batch.exhausted})
 
     def _round_switch_cost(self, batches: list[DecodeBatch]) -> float:
-        """``c``: summed auto-scaling overhead across the round's models."""
-        seen: set[str] = set()
-        cost = 0.0
-        for batch in batches:
-            if batch.spec.name in seen:
-                continue
-            seen.add(batch.spec.name)
-            cost += self.engine.base_switch_time(batch.spec)
-        # A single-model round needs no switching at all.
-        return cost if len(seen) > 1 else 0.0
+        """``c``: the round's scaling overhead, per the scaling policy."""
+        return self.scaling.round_switch_cost(self.engine, batches)
 
     def _prefetch_after(self, batch: DecodeBatch) -> None:
         """Prefetch the next distinct model while this turn decodes."""
@@ -436,7 +469,7 @@ class DecodeInstance:
                         self.engine.kv.swap_in(request.kv)
                         break
                     except MemoryError:
-                        yield self.env.timeout(ALLOC_RETRY_DELAY)
+                        yield self.env.timeout(self._alloc_retry_delay)
         if not self.engine.config.fine_grained_sync:
             yield from self.engine.kv.drain()
 
@@ -448,7 +481,7 @@ class DecodeInstance:
                         self.engine.kv.swap_out(request.kv)
                         break
                     except MemoryError:
-                        yield self.env.timeout(ALLOC_RETRY_DELAY)
+                        yield self.env.timeout(self._alloc_retry_delay)
         if not self.engine.config.fine_grained_sync:
             yield from self.engine.kv.drain()
 
@@ -504,7 +537,7 @@ class DecodeInstance:
         if pending:
             yield self.env.any_of(pending)
         else:
-            yield self.env.timeout(ALLOC_RETRY_DELAY)
+            yield self.env.timeout(self._alloc_retry_delay)
         if batch.requests:
             self.engine.kv.stats.charge_wait(
                 batch.requests[0].request_id, self.env.now - start

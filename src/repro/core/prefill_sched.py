@@ -10,6 +10,11 @@ execution plus the auto-scaling between groups (Appendix A.2).
 Batch size on prefill instances is one: prefill time grows ~linearly
 with tokens, so smaller batches cut waiting time without hurting
 throughput and release requests to the decoding phase eagerly.
+
+The placement rule itself lives in :mod:`repro.policy`
+(:class:`~repro.policy.GroupedPrefillDispatch` is the default); the
+scheduler here executes the decision against its own copy of the
+instance list — the policy-facing view.
 """
 
 from __future__ import annotations
@@ -21,12 +26,15 @@ from typing import Optional, Protocol
 from ..engine.request import Request
 from ..models.catalog import ModelSpec
 from ..obs import NULL_OBS, Observability
+from ..policy.dispatch import GroupedPrefillDispatch
+from ..policy.tunables import DEFAULT_TUNABLES
 
 __all__ = ["MAX_GPSIZE", "PrefillGroup", "PrefillInstanceLike", "GroupedPrefillScheduler"]
 
 # Grid-searched in the paper; larger values behave identically because
 # groups seldom grow past 8, smaller ones re-scale too often under load.
-MAX_GPSIZE = 8
+# Canonically ``Tunables.max_prefill_group``; alias for old imports.
+MAX_GPSIZE = DEFAULT_TUNABLES.max_prefill_group
 
 
 @dataclass
@@ -72,13 +80,17 @@ class GroupedPrefillScheduler:
         instances: list[PrefillInstanceLike],
         max_group_size: int = MAX_GPSIZE,
         obs: Observability = NULL_OBS,
+        policy: Optional[GroupedPrefillDispatch] = None,
     ):
         if not instances:
             raise ValueError("need at least one prefill instance")
         if max_group_size <= 0:
             raise ValueError("max_group_size must be positive")
-        self.instances = instances
+        # The scheduler owns its dispatch list (the policy's view);
+        # removing a failed instance must not mutate the caller's pool.
+        self.instances = list(instances)
         self.max_group_size = max_group_size
+        self.policy = policy if policy is not None else GroupedPrefillDispatch()
         self._tracer = obs.tracer
         scope = obs.scoped("prefill_sched")
         self._joined_counter = scope.counter("groups_joined")
@@ -92,27 +104,18 @@ class GroupedPrefillScheduler:
         """
         if not self.instances:
             raise LookupError("no live prefill instances")
-        # Lines 4-8: prioritize an existing group for this model.
-        for instance in self.instances:
-            for group in instance.groups:
-                if (
-                    group.spec.name == request.spec.name
-                    and group.accumulated < self.max_group_size
-                ):
-                    group.add(request)
-                    instance.kick()
-                    self._joined_counter.inc()
-                    self._note_dispatch(request, "join")
-                    return instance
-        # Lines 9-13: open a new group on the least-loaded instance.
-        target = min(self.instances, key=self.estimate_load)
-        group = PrefillGroup(spec=request.spec)
-        group.add(request)
-        target.groups.append(group)
-        target.kick()
-        self._opened_counter.inc()
-        self._note_dispatch(request, "open")
-        return target
+        instance, group, decision = self.policy.place_prefill(self, request)
+        if group is not None:
+            group.add(request)
+            self._joined_counter.inc()
+        else:
+            group = PrefillGroup(spec=request.spec)
+            group.add(request)
+            instance.groups.append(group)
+            self._opened_counter.inc()
+        instance.kick()
+        self._note_dispatch(request, decision)
+        return instance
 
     def _note_dispatch(self, request: Request, decision: str) -> None:
         if self._tracer.enabled:

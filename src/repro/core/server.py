@@ -24,8 +24,12 @@ from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..memory.model_cache import HostModelCache
 from ..memory.slab import SlabAllocator
+from typing import Optional
+
 from ..models.catalog import ModelSpec
 from ..obs import ObsConfig
+from ..policy.base import PolicyBundle
+from ..policy.tunables import DEFAULT_TUNABLES
 from ..sim import Environment
 from ..transfer.kv_transfer import MoveList
 from ..workload.trace import Trace
@@ -41,8 +45,9 @@ GiB = 1024**3
 
 # Grace period before a failed instance's orphans are requeued — the
 # timeout half of timeout-and-requeue (the proxy tier would take this
-# long to notice the instance stopped heartbeating).
-ORPHAN_REQUEUE_DELAY = 0.01
+# long to notice the instance stopped heartbeating).  Canonically
+# ``Tunables.orphan_requeue_delay``; alias kept for old imports.
+ORPHAN_REQUEUE_DELAY = DEFAULT_TUNABLES.orphan_requeue_delay
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,7 @@ class AegaeonConfig:
     drain_grace: float = 300.0  # extra sim time after the last arrival
     cluster: str = "testbed"  # preset used by build_system()
     obs: ObsConfig = field(default_factory=ObsConfig)
+    policies: Optional[str] = None  # bundle name; None = "aegaeon"
 
     @property
     def gpus_needed(self) -> int:
@@ -71,14 +77,22 @@ class AegaeonServer(ServingSystemBase):
     """Aegaeon on a cluster: instances, schedulers, proxy."""
 
     label = "Aegaeon"
+    default_policies = "aegaeon"
 
-    def __init__(self, env: Environment, cluster: Cluster, config: AegaeonConfig = AegaeonConfig()):
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        config: AegaeonConfig = AegaeonConfig(),
+        policies: Optional[PolicyBundle | str] = None,
+    ):
         if config.gpus_needed > len(cluster.gpus):
             raise ValueError(
                 f"config needs {config.gpus_needed} GPUs, cluster has {len(cluster.gpus)}"
             )
         super().__init__(
-            env, slo=config.slo, drain_grace=config.drain_grace, obs=config.obs
+            env, slo=config.slo, drain_grace=config.drain_grace, obs=config.obs,
+            policies=policies if policies is not None else config.policies,
         )
         self.cluster = cluster
         self.config = config
@@ -94,13 +108,16 @@ class AegaeonServer(ServingSystemBase):
         self.move_list = MoveList()
 
         tp = config.engine.tp
-        gpus = cluster.gpus
+        bundle = self.policies
+        tunables = bundle.tunables
+        # The placement policy owns the GPU → pool assignment (the
+        # default cursor is contiguous TP groups, prefill first).
+        prefill_groups, decode_groups = bundle.placement.partition(
+            cluster.gpus, tp, config.prefill_instances, config.decode_instances
+        )
         self.prefill_instances: list[PrefillInstance] = []
         self.decode_instances: list[DecodeInstance] = []
-        cursor = 0
-        for index in range(config.prefill_instances):
-            group = gpus[cursor : cursor + tp]
-            cursor += tp
+        for index, group in enumerate(prefill_groups):
             engine = AegaeonEngine(
                 env,
                 cluster.node_of(group[0]),
@@ -117,11 +134,10 @@ class AegaeonServer(ServingSystemBase):
                 PrefillInstance(
                     env, engine, self._on_prefilled, name=f"prefill{index}",
                     on_failed=self.note_failed, obs=self.obs,
+                    scaling=bundle.scaling, tunables=tunables,
                 )
             )
-        for index in range(config.decode_instances):
-            group = gpus[cursor : cursor + tp]
-            cursor += tp
+        for index, group in enumerate(decode_groups):
             engine = AegaeonEngine(
                 env,
                 cluster.node_of(group[0]),
@@ -144,17 +160,29 @@ class AegaeonServer(ServingSystemBase):
                     max_batch_size=config.max_batch_size,
                     on_failed=self.note_failed,
                     obs=self.obs,
+                    turn_policy=bundle.decode_turn,
+                    scaling=bundle.scaling,
+                    tunables=tunables,
                 )
             )
-        # The schedulers get their own dispatch lists: a failed instance
-        # leaves the dispatch list but stays in the pool lists, so
-        # engines()/statistics keep covering it.
+        # The schedulers copy the pool lists into their own dispatch
+        # views: a failed instance leaves the dispatch view but stays in
+        # the pool lists, so engines()/statistics keep covering it.
         self.prefill_scheduler = GroupedPrefillScheduler(
-            list(self.prefill_instances), obs=self.obs
+            self.prefill_instances,
+            max_group_size=tunables.max_prefill_group,
+            obs=self.obs,
+            policy=bundle.dispatch,
         )
         self.decode_scheduler = BatchedDecodeScheduler(
-            list(self.decode_instances), obs=self.obs
+            self.decode_instances, obs=self.obs, policy=bundle.dispatch
         )
+        # Loader retry/backoff are bundle tunables too.
+        for instance in [*self.prefill_instances, *self.decode_instances]:
+            loader = instance.engine.quick_loader
+            loader.max_fetch_retries = tunables.fetch_max_retries
+            loader.fetch_backoff_base = tunables.fetch_backoff_base
+        self._orphan_requeue_delay = tunables.orphan_requeue_delay
         self.instance_failures = 0
         self.orphans_requeued = 0
         scope = self.obs.scoped("server")
@@ -162,6 +190,21 @@ class AegaeonServer(ServingSystemBase):
         self._requeue_counter = scope.counter("orphans_requeued")
 
     # -- plumbing -----------------------------------------------------------
+    def admission_pressure(self) -> float:
+        """Least-loaded prefill backlog, in seconds of estimated work.
+
+        This is what a fresh arrival would wait before its prefill even
+        starts; SLO-aware admission compares it against the TTFT budget.
+        An empty dispatch view (every prefill instance failed) reads as
+        infinite pressure.
+        """
+        scheduler = self.prefill_scheduler
+        if not scheduler.instances:
+            return float("inf")
+        return min(
+            scheduler.estimate_load(instance) for instance in scheduler.instances
+        )
+
     def dispatch(self, request: Request) -> None:
         """Route one arriving request into the prefill phase."""
         try:
@@ -221,7 +264,7 @@ class AegaeonServer(ServingSystemBase):
 
     def _requeue_orphans(self, instance, orphans: list[Request]):
         """Process: reschedule a dead instance's requests after a grace."""
-        yield self.env.timeout(ORPHAN_REQUEUE_DELAY)
+        yield self.env.timeout(self._orphan_requeue_delay)
         for request in orphans:
             self._reschedule(instance, request)
 

@@ -22,6 +22,9 @@ from ..engine.request import Phase, Request
 from ..hardware.cluster import Cluster
 from ..hardware.gpu import H800
 from ..obs import NULL_OBS, ObsConfig, Observability
+from ..policy.base import PolicyBundle, policy_event
+from ..policy.registry import resolve_bundle
+from ..policy.tunables import Tunables
 from ..sim import Environment
 from ..transfer.kv_transfer import TransferStats
 from ..workload.trace import Trace
@@ -103,6 +106,8 @@ class ServingSystemBase:
     """
 
     label = "system"
+    #: Registry name of the bundle this system runs when none is given.
+    default_policies = "aegaeon"
 
     def __init__(
         self,
@@ -110,6 +115,7 @@ class ServingSystemBase:
         slo: SloSpec = DEFAULT_SLO,
         drain_grace: float = 300.0,
         obs: Optional[ObsConfig | Observability] = None,
+        policies: Optional[PolicyBundle | str] = None,
     ):
         self.env = env
         self.slo = slo
@@ -120,8 +126,9 @@ class ServingSystemBase:
             self.obs = Observability(
                 obs if obs is not None else ObsConfig(), clock=lambda: env.now
             )
+        self.policies = resolve_bundle(policies, self.default_policies)
         self.registry = StatusRegistry()
-        self.proxy = ProxyLayer(env, self.dispatch, self.registry)
+        self.proxy = ProxyLayer(env, self._ingress, self.registry)
         self.finished: list[Request] = []
         self.failed: list[Request] = []
         self.rejected: list[Request] = []
@@ -151,6 +158,27 @@ class ServingSystemBase:
             )
 
     # -- subclass interface -------------------------------------------------
+    def _ingress(self, request: Request) -> None:
+        """Proxy entry point: admission first, then the system's dispatch."""
+        reason = self.policies.admission.decide(self, request)
+        if reason is not None:
+            policy_event(
+                self.obs.tracer, "admission", decision="reject",
+                reason=reason, request_id=request.request_id,
+                model=request.model,
+            )
+            self.note_rejected(request)
+            return
+        self.dispatch(request)
+
+    def admission_pressure(self) -> float:
+        """Seconds of queued work ahead of a fresh arrival (admission's view).
+
+        The base estimate is 0 (no queue model); systems with load
+        estimators override this so SLO-aware admission can shed.
+        """
+        return 0.0
+
     def dispatch(self, request: Request) -> None:
         """Route one arriving request (subclasses implement)."""
         raise NotImplementedError
@@ -290,6 +318,8 @@ class SystemConfig:
     cluster: str = "testbed"
     drain_grace: float = 300.0
     obs: ObsConfig = ObsConfig()
+    #: Policy bundle name (or None for the system's default bundle).
+    policies: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -332,29 +362,40 @@ class RunSettings:
     scale: float = 1.0
     seed: int = 2025
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Policy bundle name (``REPRO_POLICIES``); None picks each system's
+    #: default bundle.
+    policies: Optional[str] = None
+    #: Shared tuning constants (``REPRO_TUNE_*`` overrides).
+    tunables: Tunables = field(default_factory=Tunables)
 
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "RunSettings":
-        """Resolve settings from ``REPRO_BENCH_{HORIZON,SCALE,SEED}`` + ``REPRO_OBS``."""
+        """Resolve settings from ``REPRO_BENCH_{HORIZON,SCALE,SEED}``,
+        ``REPRO_OBS``, ``REPRO_POLICIES``, and ``REPRO_TUNE_*``."""
         environ = os.environ if environ is None else environ
         defaults = cls()
+        policies = environ.get("REPRO_POLICIES", "").strip() or None
         return cls(
             horizon=float(environ.get("REPRO_BENCH_HORIZON", defaults.horizon)),
             scale=float(environ.get("REPRO_BENCH_SCALE", defaults.scale)),
             seed=int(environ.get("REPRO_BENCH_SEED", defaults.seed)),
             obs=ObsConfig.from_env(environ),
+            policies=policies,
+            tunables=Tunables.from_env(environ),
         )
 
 
 # -- factory -----------------------------------------------------------------
-def _build_aegaeon(env: Environment, config):
+def _build_aegaeon(env: Environment, config, policies):
     from .server import AegaeonConfig, AegaeonServer
 
     config = config if config is not None else AegaeonConfig()
-    return AegaeonServer(env, resolve_cluster(config.cluster, env), config)
+    return AegaeonServer(
+        env, resolve_cluster(config.cluster, env), config, policies=policies
+    )
 
 
-def _build_serverless(env: Environment, config):
+def _build_serverless(env: Environment, config, policies):
     from ..baselines.serverless_llm import ServerlessLLM, ServerlessLLMPlus
 
     config = config if config is not None else ServerlessLLMConfig()
@@ -368,15 +409,16 @@ def _build_serverless(env: Environment, config):
         max_batch_size=config.max_batch_size,
         model_cache_bytes=config.model_cache_bytes,
         obs=config.obs,
+        policies=policies,
     )
 
 
-def _build_serverless_plus(env: Environment, config):
+def _build_serverless_plus(env: Environment, config, policies):
     config = config if config is not None else ServerlessLLMConfig()
-    return _build_serverless(env, replace(config, sjf=True))
+    return _build_serverless(env, replace(config, sjf=True), policies)
 
 
-def _build_muxserve(env: Environment, config):
+def _build_muxserve(env: Environment, config, policies):
     from ..baselines.muxserve import MuxServe
 
     config = config if config is not None else MuxServeConfig()
@@ -387,11 +429,12 @@ def _build_muxserve(env: Environment, config):
         slo=config.slo,
         max_batch_size=config.max_batch_size,
         obs=config.obs,
+        policies=policies,
     )
 
 
 def _build_unified(policy: str):
-    def build(env: Environment, config):
+    def build(env: Environment, config, policies):
         from .unified import UnifiedServer
 
         config = config if config is not None else UnifiedConfig(policy=policy)
@@ -402,12 +445,13 @@ def _build_unified(policy: str):
             slo=config.slo,
             model_cache_bytes=config.model_cache_bytes,
             obs=config.obs,
+            policies=policies,
         )
 
     return build
 
 
-_BUILDERS: dict[str, Callable[[Environment, object], "ServingSystem"]] = {
+_BUILDERS: dict[str, Callable[[Environment, object, object], "ServingSystem"]] = {
     "aegaeon": _build_aegaeon,
     "serverless-llm": _build_serverless,
     "serverless-llm+": _build_serverless_plus,
@@ -432,6 +476,7 @@ def build_system(
     env: Environment,
     config=None,
     *,
+    policies: Optional[PolicyBundle | str] = None,
     faults=None,
     invariants: bool = False,
 ) -> "ServingSystem":
@@ -442,6 +487,11 @@ def build_system(
     :class:`UnifiedConfig`) or ``None`` for that system's defaults; the
     cluster is built from the config's ``cluster`` preset and the
     observability layer from its ``obs`` level.
+
+    ``policies`` selects the :class:`~repro.policy.PolicyBundle` steering
+    the system — a registry name (``"aegaeon-slo-admission"``), a bundle
+    object, or ``None`` for the config's ``policies`` field / the
+    system's default bundle.
 
     ``faults`` arms a :class:`~repro.chaos.FaultPlan` against the run;
     ``invariants=True`` attaches a runtime
@@ -456,7 +506,9 @@ def build_system(
         raise ValueError(
             f"unknown serving system {name!r}; known: {available_systems()}"
         ) from None
-    system = builder(env, config)
+    if policies is None:
+        policies = getattr(config, "policies", None)
+    system = builder(env, config, policies)
     if faults is not None:
         system.attach_faults(faults)
     if invariants:

@@ -186,8 +186,12 @@ class UnifiedServer(BaselineServer):
         slo: SloSpec = DEFAULT_SLO,
         model_cache_bytes: int = 640 * GiB,
         obs: Optional[ObsConfig | Observability] = None,
+        policies=None,
     ):
-        super().__init__(env, slo, obs=obs)
+        # Instance attr shadows the class default before the base class
+        # resolves the bundle.
+        self.default_policies = f"unified-{policy.replace('_', '-')}"
+        super().__init__(env, slo, obs=obs, policies=policies)
         self.label = f"unified-{policy}"
         self.model_cache = HostModelCache(
             model_cache_bytes, name="model_cache", obs=self.obs
@@ -218,13 +222,8 @@ class UnifiedServer(BaselineServer):
             self.model_cache.insert(spec.name, spec.weight_bytes)
 
     def dispatch(self, request: Request) -> None:
-        # Model affinity, then least loaded.
-        for instance in self.instances:
-            current = instance.engine.current_model
-            if current is not None and current.name == request.spec.name and instance.active:
-                instance.enqueue(request)
-                return
-        target = min(self.instances, key=lambda inst: inst.load())
+        # Model affinity, then least loaded (the bundle's dispatch policy).
+        target = self.policies.dispatch.place(self, request)
         target.enqueue(request)
 
     def engines(self) -> list[AegaeonEngine]:

@@ -1,0 +1,83 @@
+"""The pluggable policy layer: every control-plane decision, swappable.
+
+Five protocols name the decision points the serving systems share
+(:class:`AdmissionPolicy`, :class:`DispatchPolicy`,
+:class:`DecodeTurnPolicy`, :class:`ScalingPolicy`,
+:class:`PlacementPolicy`); a :class:`PolicyBundle` packages one choice
+per point plus the :class:`Tunables` they share, and the registry's
+named bundles turn Aegaeon, ServerlessLLM(+), MuxServe and the unified
+foils into configurations of one serving core.  See DESIGN.md
+("The policy layer") for the bundle table and how to add a policy.
+"""
+
+from .admission import AlwaysAdmit, PlacedModelsAdmission, SloAwareAdmission
+from .base import (
+    AdmissionPolicy,
+    DecodeTurnPolicy,
+    DispatchPolicy,
+    PlacementPolicy,
+    PolicyBundle,
+    ScalingPolicy,
+    policy_event,
+)
+from .decode_turn import (
+    WeightedRoundPolicy,
+    compute_quotas,
+    estimate_round_attainment,
+    reorder_work_list,
+)
+from .dispatch import (
+    AegaeonDispatch,
+    AffinityBacklogDispatch,
+    AffinityLeastLoadedDispatch,
+    BatchedDecodeDispatch,
+    GroupedPrefillDispatch,
+)
+from .placement import (
+    MARKET_HOURLY_USD,
+    MIN_KV_BYTES,
+    CostAwarePlacement,
+    MemoryConstrainedPlacement,
+)
+from .registry import (
+    available_bundles,
+    get_bundle,
+    register_bundle,
+    resolve_bundle,
+)
+from .scaling import RequestLevelScaling, TokenLevelScaling
+from .tunables import DEFAULT_TUNABLES, Tunables
+
+__all__ = [
+    "AdmissionPolicy",
+    "AegaeonDispatch",
+    "AffinityBacklogDispatch",
+    "AffinityLeastLoadedDispatch",
+    "AlwaysAdmit",
+    "BatchedDecodeDispatch",
+    "CostAwarePlacement",
+    "DEFAULT_TUNABLES",
+    "DecodeTurnPolicy",
+    "DispatchPolicy",
+    "GroupedPrefillDispatch",
+    "MARKET_HOURLY_USD",
+    "MIN_KV_BYTES",
+    "MemoryConstrainedPlacement",
+    "PlacedModelsAdmission",
+    "PlacementPolicy",
+    "PolicyBundle",
+    "RequestLevelScaling",
+    "ScalingPolicy",
+    "SloAwareAdmission",
+    "TokenLevelScaling",
+    "Tunables",
+    "WeightedRoundPolicy",
+    "available_bundles",
+    "compute_quotas",
+    "estimate_round_attainment",
+    "get_bundle",
+    "policy_event",
+    "register_bundle",
+    "reorder_work_list",
+    "resolve_bundle",
+]

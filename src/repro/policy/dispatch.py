@@ -1,0 +1,122 @@
+"""Dispatch policies: request → instance / batch grouping decisions.
+
+Each policy answers *where an admitted request goes* for one family of
+serving topologies.  The pool mutations (adding to a group, kicking an
+instance loop, counters) stay with the executing scheduler/server; the
+policy only returns the decision, so a Chrome-trace ``policy.dispatch``
+event can always say what was decided and why.
+
+* :class:`GroupedPrefillDispatch` / :class:`BatchedDecodeDispatch` —
+  Algorithms 1 and 2's placement rules, consumed by the Aegaeon phase
+  schedulers.
+* :class:`AffinityBacklogDispatch` — ServerlessLLM's request-level
+  routing: model affinity, then any idle instance, then least estimated
+  backlog.
+* :class:`AffinityLeastLoadedDispatch` — model affinity then least
+  queued+running load; MuxServe (restricted to hosting instances) and
+  the unified foils share it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "GroupedPrefillDispatch",
+    "BatchedDecodeDispatch",
+    "AegaeonDispatch",
+    "AffinityBacklogDispatch",
+    "AffinityLeastLoadedDispatch",
+]
+
+
+class GroupedPrefillDispatch:
+    """Algorithm 1, lines 4-13: join an open group or open a new one."""
+
+    def place_prefill(self, scheduler: Any, request: Any) -> tuple[Any, Any, str]:
+        # Lines 4-8: prioritize an existing group for this model.
+        for instance in scheduler.instances:
+            for group in instance.groups:
+                if (
+                    group.spec.name == request.spec.name
+                    and group.accumulated < scheduler.max_group_size
+                ):
+                    return instance, group, "join"
+        # Lines 9-13: open a new group on the least-loaded instance.
+        target = min(scheduler.instances, key=scheduler.estimate_load)
+        return target, None, "open"
+
+
+class BatchedDecodeDispatch:
+    """Algorithm 2's dispatch side: join a same-model batch with room,
+    else open a batch on the instance with the shortest work list."""
+
+    def place_decode(self, scheduler: Any, request: Any) -> tuple[Any, Any, str]:
+        # Prefer an existing batch of the same model with room.
+        for instance in scheduler.instances:
+            for batch in instance.work_list:
+                if batch.spec.name == request.spec.name and batch.has_room:
+                    return instance, batch, "join"
+        # Otherwise open a batch on the least-loaded instance, where
+        # load is the work-list size (Algorithm 2, line 2).
+        target = min(scheduler.instances, key=lambda inst: len(inst.work_list))
+        return target, None, "open"
+
+
+class AegaeonDispatch(GroupedPrefillDispatch, BatchedDecodeDispatch):
+    """Both phase rules in one policy object (the Aegaeon default)."""
+
+
+class AffinityBacklogDispatch:
+    """ServerlessLLM routing: affinity → idle → least estimated backlog."""
+
+    def place(self, system: Any, request: Any) -> Any:
+        # Affinity first: an instance already serving this model.
+        for instance in system.instances:
+            current = instance.current_model
+            if (
+                current is not None
+                and current.name == request.spec.name
+                and instance.active
+            ):
+                return instance
+        # Otherwise any idle instance (request-level scale-up).
+        for instance in system.instances:
+            if not instance.active:
+                return instance
+        # All busy: queue on the least-loaded instance (HOL blocking
+        # territory — the behaviour §3.1 analyzes).
+        return min(system.instances, key=lambda inst: inst.estimated_backlog())
+
+
+class AffinityLeastLoadedDispatch:
+    """Affinity then least queued+running load, over eligible instances.
+
+    ``hosts_only=True`` restricts candidates to instances whose static
+    placement includes the request's model (MuxServe); the unified foils
+    consider the whole pool and additionally require the affinity hit to
+    be active.
+    """
+
+    def __init__(self, hosts_only: bool = False):
+        self.hosts_only = hosts_only
+
+    def place(self, system: Any, request: Any) -> Optional[Any]:
+        if self.hosts_only:
+            candidates = [
+                instance
+                for instance in system.instances
+                if instance.hosts(request.model)
+            ]
+            if not candidates:
+                return None
+            return min(candidates, key=lambda instance: instance.load())
+        for instance in system.instances:
+            current = instance.engine.current_model
+            if (
+                current is not None
+                and current.name == request.spec.name
+                and instance.active
+            ):
+                return instance
+        return min(system.instances, key=lambda inst: inst.load())

@@ -1,0 +1,78 @@
+"""Scaling policies: when an engine preempts its resident model.
+
+The execution machinery (the §5 scale-up state machine, prefetching,
+KV swaps) lives in :class:`~repro.engine.engine.AegaeonEngine`; a
+scaling policy decides *whether and when* that machinery runs:
+
+* :class:`TokenLevelScaling` — Aegaeon's trigger: preempt whenever the
+  next scheduled work item needs a different model (token-level
+  auto-scaling, the paper's core mechanism).  Also charges a decode
+  round its summed switch cost ``c`` (Eq. 4 estimates), which the
+  decode-turn policy amortizes into quotas.
+* :class:`RequestLevelScaling` — ServerlessLLM's trigger: an instance
+  only ever switches when its running requests have drained, and the
+  queue order (FCFS, or oracle SJF for the ``+`` variant) decides the
+  next model.  Head-of-line blocking under aggressive pooling is
+  exactly the behaviour §3.1 analyzes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["TokenLevelScaling", "RequestLevelScaling"]
+
+
+class TokenLevelScaling:
+    """Preempt whenever the target model differs from the resident one."""
+
+    def should_switch(self, engine: Any, spec: Any) -> bool:
+        current = engine.current_model
+        return current is None or current.name != spec.name
+
+    def round_switch_cost(self, engine: Any, batches: Sequence) -> float:
+        """``c``: summed auto-scaling overhead across a round's models."""
+        seen: set[str] = set()
+        cost = 0.0
+        for batch in batches:
+            if batch.spec.name in seen:
+                continue
+            seen.add(batch.spec.name)
+            cost += engine.base_switch_time(batch.spec)
+        # A single-model round needs no switching at all.
+        return cost if len(seen) > 1 else 0.0
+
+    def order_queue(self, waiting: list, engine: Any) -> None:
+        """Token-level systems do not reorder an arrival queue."""
+
+
+class RequestLevelScaling(TokenLevelScaling):
+    """Switch only at request boundaries; queue order picks the model.
+
+    ``order`` is ``"fcfs"`` (arrival order) or ``"sjf"`` (oracle
+    shortest-job-first over true service-time estimates, §7.1's
+    ServerlessLLM+ variant).  The drain-before-switch half of the
+    behaviour is enforced by the instance loop itself — it only asks
+    the policy for a model once its batcher is empty — so this class
+    owns the ordering decision.
+    """
+
+    def __init__(self, order: str = "fcfs"):
+        if order not in ("fcfs", "sjf"):
+            raise ValueError(f"unknown queue order {order!r}")
+        self.order = order
+
+    def order_queue(self, waiting: list, engine: Any) -> None:
+        if self.order == "fcfs":
+            waiting.sort(key=lambda request: request.arrival)
+            return
+
+        def oracle_service_time(request: Any) -> float:
+            latency = engine.latency_model(request.spec)
+            return latency.estimate_service_time(
+                request.input_tokens, request.output_tokens
+            )
+
+        waiting.sort(
+            key=lambda request: (oracle_service_time(request), request.arrival)
+        )

@@ -1,0 +1,80 @@
+"""The tuning constants of the control plane, centralized.
+
+Before the policy layer these lived as module-level magic numbers
+scattered across the codebase: ``QMAX = 4.0`` and the 0.5 alpha floor in
+``core/decode_sched.py``, ``MAX_GPSIZE`` in ``core/prefill_sched.py``,
+the orphan-requeue grace period in ``core/server.py``, the allocation
+retry pacing in ``core/instance.py``, and the checkpoint-fetch
+retry/backoff parameters in ``transfer/loader.py``.  They are now fields
+of one frozen :class:`Tunables` dataclass carried by every
+:class:`~repro.policy.PolicyBundle` and resolvable from the environment
+through :meth:`Tunables.from_env` (wired into
+:meth:`repro.core.RunSettings.from_env`).
+
+The defaults reproduce the paper's published settings exactly; the old
+module-level names survive as aliases of these fields so existing
+imports keep working.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional
+
+__all__ = ["Tunables", "DEFAULT_TUNABLES"]
+
+
+@dataclass(frozen=True)
+class Tunables:
+    """Every scalar knob the scheduling/scaling policies depend on."""
+
+    #: Maximum per-turn decode quota, seconds (§4.3; the paper sets 4 s
+    #: empirically and reports robustness to alternative settings).
+    qmax: float = 4.0
+    #: Floor on Eq. 3's alpha: keeps turns short (hence responsive to
+    #: new batches) when SLOs are comfortably met.
+    alpha_floor: float = 0.5
+    #: Algorithm 1's MAX_GPSIZE: accumulative cap on a prefill group.
+    max_prefill_group: int = 8
+    #: Grace period before a failed instance's orphans are requeued —
+    #: the timeout half of timeout-and-requeue.
+    orphan_requeue_delay: float = 0.01
+    #: Retry pacing for transient KV-cache pressure (alloc/swap retries).
+    alloc_retry_delay: float = 0.005
+    #: Max retries after a failed remote checkpoint fetch before the
+    #: loader raises ``CheckpointFetchError``.
+    fetch_max_retries: int = 4
+    #: Base of the loader's exponential fetch backoff (doubles per retry).
+    fetch_backoff_base: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.qmax <= 0:
+            raise ValueError("qmax must be positive")
+        if self.alpha_floor <= 0:
+            raise ValueError("alpha_floor must be positive")
+        if self.max_prefill_group <= 0:
+            raise ValueError("max_prefill_group must be positive")
+        if self.orphan_requeue_delay < 0 or self.alloc_retry_delay < 0:
+            raise ValueError("grace/retry delays must be non-negative")
+        if self.fetch_max_retries < 0 or self.fetch_backoff_base < 0:
+            raise ValueError("fetch retry parameters must be non-negative")
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "Tunables":
+        """Resolve tunables from ``REPRO_TUNE_<FIELD>`` variables.
+
+        Example: ``REPRO_TUNE_QMAX=2.0 REPRO_TUNE_MAX_PREFILL_GROUP=4``.
+        Unset fields keep their paper defaults.
+        """
+        environ = os.environ if environ is None else environ
+        overrides = {}
+        for spec in fields(cls):
+            raw = environ.get(f"REPRO_TUNE_{spec.name.upper()}")
+            if raw is not None:
+                cast = int if spec.type in (int, "int") else float
+                overrides[spec.name] = cast(raw)
+        return cls(**overrides)
+
+
+DEFAULT_TUNABLES = Tunables()

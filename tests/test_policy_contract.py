@@ -1,0 +1,192 @@
+"""Conformance suite for the policy layer (``repro.policy``).
+
+Every registered bundle must drive its serving topology end to end and
+preserve the accounting identity ``finished + failed + rejected ==
+submitted``; the registry must resolve names, defaults and tunables
+overrides; and the stock :class:`~repro.policy.WeightedRoundPolicy` must
+obey the Eq. 2-3 invariants over the shared quota parameter space.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import DEFAULT_SLO, build_system
+from repro.policy import (
+    AdmissionPolicy,
+    DecodeTurnPolicy,
+    PlacementPolicy,
+    PolicyBundle,
+    ScalingPolicy,
+    Tunables,
+    WeightedRoundPolicy,
+    available_bundles,
+    compute_quotas,
+    estimate_round_attainment,
+    get_bundle,
+    resolve_bundle,
+)
+from repro.sim import Environment
+
+from .strategies import step_times, switch_costs
+from .test_serving_api import small_config, small_trace
+
+EXPECTED_BUNDLES = {
+    "aegaeon",
+    "serverless-llm",
+    "serverless-llm+",
+    "muxserve",
+    "unified-prefill-first",
+    "unified-decode-first",
+    "aegaeon-slo-admission",
+    "muxserve-cost-placement",
+}
+
+
+class TestRegistry:
+    def test_expected_bundles_registered(self):
+        assert EXPECTED_BUNDLES <= set(available_bundles())
+
+    def test_unknown_bundle_raises(self):
+        with pytest.raises(ValueError, match="unknown policy bundle"):
+            get_bundle("nope")
+
+    def test_lookup_normalizes_case(self):
+        assert get_bundle(" Aegaeon ") is get_bundle("aegaeon")
+
+    def test_resolve_default_and_passthrough(self):
+        default = resolve_bundle(None, "aegaeon")
+        assert default is get_bundle("aegaeon")
+        assert resolve_bundle(default, "muxserve") is default
+        assert resolve_bundle("muxserve", "aegaeon") is get_bundle("muxserve")
+
+    def test_resolve_tunables_override_reaches_decode_turn(self):
+        tuned = Tunables(qmax=2.5)
+        bundle = resolve_bundle(None, "aegaeon", tunables=tuned)
+        assert bundle.tunables.qmax == 2.5
+        # The stock turn policy is rebuilt so quota math sees the new cap.
+        assert bundle.decode_turn.qmax == 2.5
+        # The registered bundle itself is untouched.
+        assert get_bundle("aegaeon").decode_turn.qmax == 4.0
+
+    def test_with_tunables_preserves_custom_turn_policy(self):
+        class CustomTurns(WeightedRoundPolicy):
+            pass
+
+        custom = CustomTurns()
+        bundle = dataclasses.replace(get_bundle("aegaeon"), decode_turn=custom)
+        swapped = bundle.with_tunables(Tunables(qmax=1.5))
+        assert swapped.decode_turn is custom
+
+
+class TestBundleShape:
+    @pytest.mark.parametrize("name", available_bundles())
+    def test_every_decision_point_filled(self, name):
+        bundle = get_bundle(name)
+        assert isinstance(bundle, PolicyBundle)
+        assert bundle.name == name
+        assert bundle.description
+        assert isinstance(bundle.admission, AdmissionPolicy)
+        # Dispatch policies implement only the entry points their system
+        # uses: disaggregated pools route per phase, single pools route
+        # whole requests.
+        if bundle.system == "aegaeon":
+            assert callable(bundle.dispatch.place_prefill)
+            assert callable(bundle.dispatch.place_decode)
+        else:
+            assert callable(bundle.dispatch.place)
+        assert isinstance(bundle.decode_turn, DecodeTurnPolicy)
+        assert isinstance(bundle.scaling, ScalingPolicy)
+        assert isinstance(bundle.placement, PlacementPolicy)
+
+    @pytest.mark.parametrize("name", available_bundles())
+    def test_system_is_buildable(self, name):
+        bundle = get_bundle(name)
+        system = build_system(
+            bundle.system, Environment(), small_config(bundle.system), policies=name
+        )
+        assert system.policies is get_bundle(name)
+
+
+class TestBundleConformance:
+    """Every bundle serves a trace and accounts for every request."""
+
+    @pytest.mark.parametrize("name", available_bundles())
+    def test_accounting_identity(self, name):
+        bundle = get_bundle(name)
+        env = Environment()
+        system = build_system(
+            bundle.system, env, small_config(bundle.system), policies=name
+        )
+        trace = small_trace()
+        result = system.serve(trace)
+
+        registry = system.registry
+        assert registry.submitted == len(trace)
+        assert (
+            registry.finished + registry.failed + registry.rejected
+            == registry.submitted
+        )
+        assert system.accounted == len(trace.requests)
+        assert len(result.requests) == len(trace)
+        # A bundle may shed (slo-admission) or refuse unplaced models
+        # (muxserve), but it must still serve the bulk of a light trace.
+        assert registry.finished > 0
+
+
+class TestWeightedRoundProperties:
+    """Eq. 2-3 invariants, via the policy seam rather than the functions."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=step_times, cost=switch_costs)
+    def test_quotas_bounded_by_qmax(self, times, cost):
+        policy = WeightedRoundPolicy()
+        quotas = policy.quotas(list(range(len(times))), times, cost, DEFAULT_SLO)
+        assert len(quotas) == len(times)
+        assert all(0.0 <= quota <= policy.qmax for quota in quotas)
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=step_times, cost=switch_costs)
+    def test_attainment_is_a_probability(self, times, cost):
+        attainment = WeightedRoundPolicy().attainment(times, cost, DEFAULT_SLO)
+        assert 0.0 < attainment <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=step_times)
+    def test_zero_switch_cost_costs_nothing(self, times):
+        policy = WeightedRoundPolicy()
+        assert policy.attainment(times, 0.0, DEFAULT_SLO) == 1.0
+        quotas = policy.quotas(list(range(len(times))), times, 0.0, DEFAULT_SLO)
+        assert quotas == [policy.qmax] * len(times)
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=step_times, cost=switch_costs)
+    def test_policy_matches_reference_functions(self, times, cost):
+        """The seam adds no math: stock policy == module functions."""
+        tuned = Tunables(qmax=2.5)
+        policy = WeightedRoundPolicy(tuned)
+        batches = list(range(len(times)))
+        assert policy.quotas(batches, times, cost, DEFAULT_SLO) == compute_quotas(
+            batches, times, cost, DEFAULT_SLO,
+            qmax=tuned.qmax, alpha_floor=tuned.alpha_floor,
+        )
+        assert policy.attainment(times, cost, DEFAULT_SLO) == (
+            estimate_round_attainment(
+                times, cost, DEFAULT_SLO,
+                qmax=tuned.qmax, alpha_floor=tuned.alpha_floor,
+            )
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(times=step_times, cost=switch_costs)
+    def test_tighter_qmax_never_grants_more_time(self, times, cost):
+        """Shrinking the quota cap shrinks (or keeps) every turn."""
+        batches = list(range(len(times)))
+        loose = WeightedRoundPolicy(Tunables(qmax=4.0))
+        tight = WeightedRoundPolicy(Tunables(qmax=2.0))
+        for small, large in zip(
+            tight.quotas(batches, times, cost, DEFAULT_SLO),
+            loose.quotas(batches, times, cost, DEFAULT_SLO),
+        ):
+            assert small <= large + 1e-9
