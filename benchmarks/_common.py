@@ -33,7 +33,7 @@ from repro.analysis import ServingResult
 from repro.engine import EngineConfig
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import Dataset, sharegpt, synthesize_trace
+from repro.workload import Dataset, sharegpt, materialize_trace
 
 __all__ = [
     "bench_horizon",
@@ -79,7 +79,7 @@ def make_trace(
     models = market_mix(model_count)
     dataset = dataset if dataset is not None else sharegpt()
     horizon = horizon if horizon is not None else bench_horizon()
-    return synthesize_trace(models, [rps] * model_count, dataset, horizon, seed=seed)
+    return materialize_trace(models, [rps] * model_count, dataset, horizon, seed=seed)
 
 
 def aegaeon_factory(slo: SloSpec = DEFAULT_SLO, engine: EngineConfig = EngineConfig()):

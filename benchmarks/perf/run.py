@@ -30,10 +30,17 @@ _REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(_REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from benchmarks.perf.scenarios import SCENARIOS, run_scenario  # noqa: E402
+from benchmarks.perf.scenarios import SCENARIOS, SUITES, run_scenario  # noqa: E402
+
+#: Default baseline file per suite ("all" gates against both files via
+#: two explicit invocations instead).
+_SUITE_BASELINES = {
+    "kernel": "BENCH_kernel.json",
+    "fleet": "BENCH_fleet.json",
+}
 
 
-def measure(quick: bool, repeat: int) -> dict:
+def measure(quick: bool, repeat: int, suite: str = "kernel") -> dict:
     report: dict = {
         "meta": {
             "python": platform.python_version(),
@@ -41,10 +48,11 @@ def measure(quick: bool, repeat: int) -> dict:
             "platform": platform.platform(),
             "quick": quick,
             "repeat": repeat,
+            "suite": suite,
         },
         "scenarios": {},
     }
-    for name in SCENARIOS:
+    for name in SUITES[suite]:
         print(f"[perf] {name} ...", flush=True)
         result = run_scenario(name, quick=quick, repeat=repeat)
         report["scenarios"][name] = result
@@ -105,8 +113,13 @@ def main(argv: list[str] | None = None) -> int:
         help="compare against --baseline and exit 1 on regression",
     )
     parser.add_argument(
-        "--baseline", type=Path, default=_REPO_ROOT / "BENCH_kernel.json",
-        help="baseline report to compare against (default: repo BENCH_kernel.json)",
+        "--suite", choices=sorted(SUITES), default="kernel",
+        help="scenario group to run (default: kernel, the original three)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline report to compare against (default: the suite's "
+        "committed BENCH_*.json)",
     )
     parser.add_argument(
         "--max-drop", type=float, default=0.30,
@@ -121,8 +134,12 @@ def main(argv: list[str] | None = None) -> int:
         help="trials per scenario, best kept (default 3)",
     )
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = _REPO_ROOT / _SUITE_BASELINES.get(
+            args.suite, "BENCH_kernel.json"
+        )
 
-    report = measure(quick=args.quick, repeat=args.repeat)
+    report = measure(quick=args.quick, repeat=args.repeat, suite=args.suite)
 
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

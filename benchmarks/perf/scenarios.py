@@ -19,9 +19,9 @@ from repro.core import AegaeonConfig, AegaeonServer
 from repro.hardware import Cluster, H800
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
-__all__ = ["SCENARIOS", "run_scenario"]
+__all__ = ["SCENARIOS", "SUITES", "run_scenario"]
 
 
 def kernel_event_throughput(quick: bool = False) -> dict:
@@ -76,7 +76,7 @@ def end_to_end_serving(quick: bool = False) -> dict:
         AegaeonConfig(prefill_instances=1, decode_instances=3),
     )
     models = market_mix(8)
-    trace = synthesize_trace(
+    trace = materialize_trace(
         models, [0.4] * 8, sharegpt(), horizon=horizon, seed=2025
     )
     start = time.perf_counter()
@@ -109,7 +109,7 @@ def switch_storm(quick: bool = False) -> dict:
         AegaeonConfig(prefill_instances=1, decode_instances=1),
     )
     models = market_mix(n_models)
-    trace = synthesize_trace(
+    trace = materialize_trace(
         models, [0.15] * n_models, sharegpt(), horizon=horizon, seed=7
     )
     start = time.perf_counter()
@@ -126,10 +126,60 @@ def switch_storm(quick: bool = False) -> dict:
     }
 
 
+def fleet_replay(quick: bool = False) -> dict:
+    """Fleet-smoke: 4 shards, 10^4-request market replay, one clock.
+
+    Exercises the sharded control plane end to end — consistent-hash
+    partitioning with a load-aware rebalance, the streaming pump, and
+    non-retained disposal — at CI scale (the ``examples`` demo runs the
+    same shape at 8 shards / 10^5 requests).
+    """
+    from repro.core import SystemSpec
+    from repro.fleet import FleetConfig, build_fleet
+    from repro.workload import market_stream
+
+    horizon = 120.0 if quick else 840.0
+    spec = SystemSpec(
+        config=AegaeonConfig(
+            prefill_instances=1, decode_instances=3, cluster="h800-quad"
+        )
+    )
+    fleet = build_fleet(FleetConfig(shards=4, spec=spec))
+    stream = market_stream(256, horizon, seed=2025, total_rate=12.0)
+    # Spread the zipf head before replay: pin hot models off their
+    # ring-assigned shards so no shard melts while others idle.
+    fleet.partitioner.rebalance(
+        {model.name: rate for model, rate in zip(stream.models, stream.rates)}
+    )
+    env = fleet.env
+    start = time.perf_counter()
+    result = fleet.run(stream)
+    wall = time.perf_counter() - start
+    steps = env.steps_executed
+    return {
+        "ops_per_sec": steps / wall if wall > 0 else 0.0,
+        "wall_s": wall,
+        "sim_steps": steps,
+        "sim_end": env.now,
+        "requests": result.submitted,
+        "slo_attainment": round(result.slo_attainment, 6),
+        "events_recycled": env.events_recycled,
+    }
+
+
 SCENARIOS: dict[str, Callable[[bool], dict]] = {
     "kernel_event_throughput": kernel_event_throughput,
     "end_to_end_serving": end_to_end_serving,
     "switch_storm": switch_storm,
+    "fleet_replay": fleet_replay,
+}
+
+#: Scenario groups the CLI can select; the default "kernel" suite keeps
+#: the original three (and the BENCH_kernel.json baseline) unchanged.
+SUITES: dict[str, tuple[str, ...]] = {
+    "kernel": ("kernel_event_throughput", "end_to_end_serving", "switch_storm"),
+    "fleet": ("fleet_replay",),
+    "all": tuple(SCENARIOS),
 }
 
 

@@ -14,7 +14,7 @@ from repro.analysis import format_table
 from repro.core import AegaeonServer, DEFAULT_SLO
 from repro.models import get_model, market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 
 def test_fig17_left_a10_node(benchmark):
@@ -27,7 +27,7 @@ def test_fig17_left_a10_node(benchmark):
             slo = DEFAULT_SLO.scale_tbt(factor)
             for index, count in enumerate(model_counts):
                 models = market_mix(count, min_b=6.0, max_b=7.9)
-                trace = synthesize_trace(
+                trace = materialize_trace(
                     models, [0.1] * count, sharegpt(), bench_horizon(), seed=8025 + index
                 )
                 env = Environment()
@@ -68,7 +68,7 @@ def test_fig17_right_72b_tp4(benchmark):
         for label, factor in scalings:
             slo = DEFAULT_SLO.scale_ttft(factor)
             for index, rate in enumerate(rates):
-                trace = synthesize_trace(
+                trace = materialize_trace(
                     models,
                     [rate / len(models)] * len(models),
                     sharegpt(),

@@ -21,7 +21,7 @@ from repro.engine import EngineConfig
 from repro.hardware import Cluster, H20
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import deployment_rates, sharegpt, synthesize_trace
+from repro.workload import deployment_rates, sharegpt, materialize_trace
 
 # Reduced-scale deployment: small-model pool only (TP=1), the paper's
 # 28-model tier.  Redundancy mirrors production practice (§7.5: both
@@ -33,7 +33,7 @@ def _deployment_trace(seed=9025):
     rng = np.random.default_rng(seed)
     models = market_mix(MODEL_COUNT, min_b=1.5, max_b=7.9)
     rates = deployment_rates(MODEL_COUNT, rng)
-    return synthesize_trace(models, list(rates), sharegpt(), bench_horizon(), seed=seed)
+    return materialize_trace(models, list(rates), sharegpt(), bench_horizon(), seed=seed)
 
 
 def test_fig18_deployment_utilization_and_savings(benchmark):

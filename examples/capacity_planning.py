@@ -13,7 +13,7 @@ from repro.analysis import format_table, plan_pool
 from repro.core import DEFAULT_SLO
 from repro.hardware import H800
 from repro.models import market_mix
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 MODEL_COUNT = 16
 HORIZON = 120.0
@@ -23,7 +23,7 @@ def main() -> None:
     rows = []
     for label, rate in [("light", 0.02), ("moderate", 0.08), ("heavy", 0.25)]:
         models = market_mix(MODEL_COUNT)
-        trace = synthesize_trace(
+        trace = materialize_trace(
             models, [rate] * MODEL_COUNT, sharegpt(), HORIZON, seed=31
         )
         plan = plan_pool(trace, H800, slo=DEFAULT_SLO, threshold=0.90)

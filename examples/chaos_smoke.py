@@ -20,7 +20,7 @@ from repro.chaos import FaultPlan
 from repro.core import AegaeonConfig, build_system
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 DEFAULT_SEEDS = (101, 202, 303)
 
@@ -40,7 +40,7 @@ def run_once(fault_seed: int):
         faults=plan,
         invariants=True,
     )
-    trace = synthesize_trace(
+    trace = materialize_trace(
         market_mix(4), [0.15] * 4, sharegpt(), horizon=40.0, seed=7
     )
     # warm=False so checkpoint fetches hit the disruptable remote path.

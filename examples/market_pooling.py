@@ -22,7 +22,7 @@ from repro.core import AegaeonConfig, AegaeonServer
 from repro.hardware import Cluster, H800
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import deployment_rates, sharegpt, synthesize_trace
+from repro.workload import deployment_rates, sharegpt, materialize_trace
 
 MODEL_COUNT = 24
 HORIZON = 150.0
@@ -32,7 +32,7 @@ def build_trace():
     rng = np.random.default_rng(11)
     models = market_mix(MODEL_COUNT)
     rates = deployment_rates(MODEL_COUNT, rng)
-    return synthesize_trace(models, list(rates), sharegpt(), HORIZON, seed=11)
+    return materialize_trace(models, list(rates), sharegpt(), HORIZON, seed=11)
 
 
 def size_aegaeon(trace):

@@ -35,7 +35,7 @@ from repro.models import market_mix
 from repro.obs import ObsConfig, format_switch_breakdown, write_chrome_trace
 from repro.policy import get_bundle
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 TRACE_PATH = "quickstart_trace.json"
 
@@ -80,7 +80,7 @@ def main() -> None:
 
     # 2. A workload: twelve models, sporadic arrivals, ShareGPT lengths.
     models = market_mix(12)
-    trace = synthesize_trace(
+    trace = materialize_trace(
         models, rates=[0.08] * len(models), dataset=sharegpt(), horizon=120.0, seed=7
     )
     print(

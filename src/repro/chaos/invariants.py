@@ -35,6 +35,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Iterable
 
+from ..engine.request import Phase
+
 __all__ = ["InvariantChecker", "InvariantViolation", "Violation"]
 
 
@@ -296,22 +298,34 @@ class InvariantChecker:
         proxy = getattr(system, "proxy", None)
         if registry is None or proxy is None:
             return
-        if registry.submitted != len(proxy.requests):
+        if registry.submitted != proxy.submitted:
             self._flag(
                 "slo-accounting",
                 f"registry saw {registry.submitted} submissions, proxy "
-                f"created {len(proxy.requests)} requests",
+                f"admitted {proxy.submitted} requests",
             )
+        retaining = getattr(system, "retain_requests", True)
         finished = getattr(system, "finished", [])
         failed = getattr(system, "failed", [])
         rejected = getattr(system, "rejected", [])
-        if registry.finished != len(finished):
-            self._flag(
-                "slo-accounting",
-                f"registry counts {registry.finished} finished, system "
-                f"ledger holds {len(finished)}",
-            )
-        accounted = len(finished) + len(failed) + len(rejected)
+        if retaining:
+            if registry.finished != len(finished):
+                self._flag(
+                    "slo-accounting",
+                    f"registry counts {registry.finished} finished, system "
+                    f"ledger holds {len(finished)}",
+                )
+            accounted = len(finished) + len(failed) + len(rejected)
+        else:
+            accounted = getattr(system, "accounted", 0)
+            # Ledgers stay empty; the live map must mirror the registry's
+            # in-flight arithmetic exactly.
+            if len(proxy.live) != registry.in_flight:
+                self._flag(
+                    "slo-accounting",
+                    f"proxy tracks {len(proxy.live)} live requests, registry "
+                    f"arithmetic says {registry.in_flight} in flight",
+                )
         if accounted > registry.submitted:
             self._flag(
                 "slo-accounting",
@@ -322,15 +336,33 @@ class InvariantChecker:
             self._flag(
                 "slo-accounting", f"negative in-flight: {registry.in_flight}"
             )
-        # Only entries appended since the last pass need vetting.
-        for request in finished[self._finished_checked :]:
-            if not request.finished or request.finish_time is None:
-                self._flag(
-                    "slo-accounting",
-                    f"request {request.request_id} in the finished ledger "
-                    "with an incomplete token stream",
-                )
-        self._finished_checked = len(finished)
+        if retaining:
+            # Only entries appended since the last pass need vetting.
+            for request in finished[self._finished_checked :]:
+                if not request.finished or request.finish_time is None:
+                    self._flag(
+                        "slo-accounting",
+                        f"request {request.request_id} in the finished ledger "
+                        "with an incomplete token stream",
+                    )
+            self._finished_checked = len(finished)
+
+    def vet_terminal(self, request) -> None:
+        """Per-request vetting at disposal time (non-retained runs).
+
+        Replaces the finished-ledger sweep: each request is checked once,
+        right before the system drops it, and its token cursor is
+        released so checker memory tracks concurrency too.
+        """
+        if request.phase is Phase.FINISHED and (
+            not request.finished or request.finish_time is None
+        ):
+            self._flag(
+                "slo-accounting",
+                f"request {request.request_id} disposed as finished with an "
+                "incomplete token stream",
+            )
+        self._token_cursor.pop(request.request_id, None)
 
     # -- access helpers -------------------------------------------------------
     def _engines(self) -> list:
@@ -339,4 +371,4 @@ class InvariantChecker:
 
     def _requests(self) -> Iterable:
         proxy = getattr(self.system, "proxy", None)
-        return proxy.requests if proxy is not None else ()
+        return proxy.tracked_requests() if proxy is not None else ()

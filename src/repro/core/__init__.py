@@ -24,6 +24,7 @@ from .serving import (
     ServingSystem,
     ServingSystemBase,
     SystemConfig,
+    SystemSpec,
     UnifiedConfig,
     available_systems,
     build_system,
@@ -54,6 +55,7 @@ __all__ = [
     "SloSpec",
     "StatusRegistry",
     "SystemConfig",
+    "SystemSpec",
     "UnifiedConfig",
     "DECODE_FIRST",
     "PREFILL_FIRST",

@@ -42,25 +42,61 @@ class StatusRegistry:
         elif request.phase is Phase.REJECTED and previous != Phase.REJECTED.value:
             self.rejected += 1
 
+    def forget(self, request_id: int) -> None:
+        """Purge a terminal request's status entry; counters keep its tally."""
+        self.statuses.pop(request_id, None)
+
     @property
     def in_flight(self) -> int:
         return self.submitted - self.finished - self.failed - self.rejected
 
 
 class ProxyLayer:
-    """Replays a trace, dispatching each arrival to the prefill scheduler."""
+    """Replays a workload, dispatching each arrival to the serving system.
+
+    In the default *retaining* mode every submitted :class:`Request` is
+    kept in ``requests`` for end-of-run analysis.  Fleet-scale streaming
+    runs set ``retain=False``: only in-flight requests are tracked (in
+    ``live``), and the serving system drops each request as soon as it
+    reaches a terminal disposition — peak memory then scales with
+    concurrency, not trace length.
+    """
 
     def __init__(
         self,
         env: Environment,
         dispatch: Callable[[Request], None],
         registry: Optional[StatusRegistry] = None,
+        retain: bool = True,
     ):
         self.env = env
         self.dispatch = dispatch
         self.registry = registry if registry is not None else StatusRegistry()
+        self.retain = retain
         self.requests: list[Request] = []
+        #: In-flight requests when ``retain`` is off (id -> request).
+        self.live: dict[int, Request] = {}
+        #: Total requests ever admitted (== len(requests) when retaining).
+        self.submitted = 0
         self.all_submitted: Event = env.event()
+
+    def admit(self, request: Request) -> None:
+        """Record one arriving request and hand it to the dispatcher."""
+        if self.retain:
+            self.requests.append(request)
+        else:
+            self.live[request.request_id] = request
+        self.submitted += 1
+        self.registry.update(request)
+        self.dispatch(request)
+
+    def drop(self, request: Request) -> None:
+        """Forget a terminally disposed request (non-retaining mode)."""
+        self.live.pop(request.request_id, None)
+
+    def tracked_requests(self):
+        """Every request the proxy still knows about (analysis/invariants)."""
+        return self.requests if self.retain else self.live.values()
 
     def replay(self, trace: Trace) -> Generator:
         """Process: submit every trace request at its arrival time."""
@@ -71,7 +107,23 @@ class ProxyLayer:
             request = Request(
                 trace=trace_request, spec=trace.spec_of(trace_request.model)
             )
-            self.requests.append(request)
-            self.registry.update(request)
-            self.dispatch(request)
+            self.admit(request)
+        self.all_submitted.succeed()
+
+    def replay_stream(self, stream) -> Generator:
+        """Process: pull a :class:`~repro.workload.stream.RequestStream`.
+
+        Requests are drawn lazily from the stream at simulation time, so
+        lookahead stays bounded by the stream's own contract (one pending
+        request per model).
+        """
+        spec_of = stream.spec_of
+        for trace_request in stream:
+            delay = trace_request.arrival - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            request = Request(
+                trace=trace_request, spec=spec_of(trace_request.model)
+            )
+            self.admit(request)
         self.all_submitted.succeed()

@@ -14,7 +14,8 @@ examples, and the observability layer attach to all of them uniformly.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Mapping, Optional, Protocol, runtime_checkable
 
 from ..engine.engine import AegaeonEngine, ScaleRecord
@@ -36,6 +37,7 @@ __all__ = [
     "ServingSystemBase",
     "BaselineServer",
     "SystemConfig",
+    "SystemSpec",
     "ServerlessLLMConfig",
     "MuxServeConfig",
     "UnifiedConfig",
@@ -135,6 +137,14 @@ class ServingSystemBase:
         self.fault_injector = None
         self.invariant_checker = None
         self.gpu_count = 0
+        #: When False, terminally disposed requests are dropped instead of
+        #: kept on the ledgers (fleet-scale streaming; see
+        #: :meth:`configure_streaming`).
+        self.retain_requests = True
+        #: Optional callback fired on every terminal disposition — the
+        #: fleet rollup folds requests into mergeable stats through this.
+        self.request_sink: Optional[Callable[[Request], None]] = None
+        self._disposed = 0
         scope = self.obs.scoped("serving")
         self._failed_counter = scope.counter("requests_failed")
         self._rejected_counter = scope.counter("requests_rejected")
@@ -221,10 +231,49 @@ class ServingSystemBase:
         return self.invariant_checker
 
     # -- common plumbing ----------------------------------------------------
+    def configure_streaming(
+        self,
+        *,
+        retain_requests: bool = True,
+        request_sink: Optional[Callable[[Request], None]] = None,
+    ) -> None:
+        """Choose how terminal requests are kept.
+
+        ``retain_requests=False`` drops each request at its final
+        disposition (after folding it through ``request_sink``), so a
+        long replay's memory scales with in-flight concurrency rather
+        than trace length.  Must be called before any request is
+        submitted.
+        """
+        if self.proxy.submitted:
+            raise RuntimeError("configure_streaming must precede submission")
+        self.retain_requests = retain_requests
+        self.proxy.retain = retain_requests
+        self.request_sink = request_sink
+
+    def submit(self, trace_request, spec) -> Request:
+        """Admit one externally driven request (the fleet-runner path)."""
+        request = Request(trace=trace_request, spec=spec)
+        self.proxy.admit(request)
+        return request
+
+    def _dispose(self, request: Request, ledger: list[Request]) -> None:
+        """Final accounting shared by every terminal disposition."""
+        self._disposed += 1
+        if self.request_sink is not None:
+            self.request_sink(request)
+        if self.retain_requests:
+            ledger.append(request)
+        else:
+            if self.invariant_checker is not None:
+                self.invariant_checker.vet_terminal(request)
+            self.proxy.drop(request)
+            self.registry.forget(request.request_id)
+
     def note_finished(self, request: Request) -> None:
         """Record a completed request."""
         self.registry.update(request)
-        self.finished.append(request)
+        self._dispose(request, self.finished)
         self.obs.tracer.instant(
             "request_finished",
             cat="lifecycle",
@@ -237,7 +286,7 @@ class ServingSystemBase:
         """Record a request given up on mid-flight (degraded mode)."""
         request.phase = Phase.FAILED
         self.registry.update(request)
-        self.failed.append(request)
+        self._dispose(request, self.failed)
         self._failed_counter.inc()
         self.obs.tracer.instant(
             "request_failed",
@@ -251,7 +300,7 @@ class ServingSystemBase:
         """Record a request turned away at admission (no live capacity)."""
         request.phase = Phase.REJECTED
         self.registry.update(request)
-        self.rejected.append(request)
+        self._dispose(request, self.rejected)
         self._rejected_counter.inc()
         self.obs.tracer.instant(
             "request_rejected",
@@ -264,7 +313,7 @@ class ServingSystemBase:
     @property
     def accounted(self) -> int:
         """Requests with a final disposition: finished, failed, rejected."""
-        return len(self.finished) + len(self.failed) + len(self.rejected)
+        return self._disposed
 
     def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
         """Replay ``trace`` to completion or the drain deadline."""
@@ -283,6 +332,34 @@ class ServingSystemBase:
             self.invariant_checker.check_now()
             self.invariant_checker.assert_clean()
         return self.collect(trace)
+
+    def serve_stream(self, stream, until: Optional[float] = None) -> "ServingResult":
+        """Replay a :class:`~repro.workload.stream.RequestStream` lazily.
+
+        The stream is pulled one request at a time (bounded lookahead);
+        with ``configure_streaming(retain_requests=False)`` the run's
+        memory is bounded by concurrency, not request count.  ``prepare``
+        receives the stream itself, which quacks enough like a trace
+        (``models``, ``horizon``) for cache warming.
+        """
+        self.prepare(stream)
+        self.env.process(self.proxy.replay_stream(stream))
+        deadline = until if until is not None else stream.horizon + self.drain_grace
+
+        def watchdog():
+            while not (
+                self.proxy.all_submitted.triggered
+                and self.accounted >= self.proxy.submitted
+            ):
+                if self.env.now >= deadline:
+                    return
+                yield self.env.timeout(1.0)
+
+        self.env.run(until=self.env.process(watchdog()))
+        if self.invariant_checker is not None:
+            self.invariant_checker.check_now()
+            self.invariant_checker.assert_clean()
+        return self.collect(stream)
 
     def collect(self, trace: Trace) -> "ServingResult":
         """Assemble the measurement object."""
@@ -349,6 +426,90 @@ class UnifiedConfig(SystemConfig):
     model_cache_bytes: int = 640 * GiB
 
 
+def _default_config(name: str):
+    """The config dataclass a system gets when none is supplied."""
+    key = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    if key == "aegaeon":
+        from .server import AegaeonConfig
+
+        return AegaeonConfig()
+    if key == "serverless-llm":
+        return ServerlessLLMConfig()
+    if key == "serverless-llm+":
+        return ServerlessLLMConfig(sjf=True)
+    if key == "muxserve":
+        return MuxServeConfig()
+    if key == "unified-prefill-first":
+        return UnifiedConfig(policy="prefill_first")
+    if key == "unified-decode-first":
+        return UnifiedConfig(policy="decode_first")
+    raise ValueError(
+        f"unknown serving system {name!r}; known: {available_systems()}"
+    )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Declarative recipe for one serving system.
+
+    Consolidates what used to be loose :func:`build_system` keyword
+    arguments — cluster preset, policy bundle, observability level, and
+    chaos attachments — into one value that can be stored, compared,
+    and replicated across fleet shards.  ``build(env)`` is equivalent to
+    calling :func:`build_system` with the same knobs; the old keyword
+    form keeps working.
+    """
+
+    system: str = "aegaeon"
+    #: Full config dataclass; None uses the system's defaults as the base.
+    config: Optional[object] = None
+    #: Override the config's cluster preset (e.g. ``"h800-quad"``).
+    cluster: Optional[str] = None
+    #: Policy bundle name; None keeps the config's / system's default.
+    policies: Optional[str] = None
+    #: Override the config's observability level.
+    obs: Optional[ObsConfig] = None
+    #: Optional :class:`~repro.chaos.FaultPlan` armed against the run.
+    faults: Optional[object] = None
+    invariants: bool = False
+
+    def resolve_config(self):
+        """The effective config after applying the spec's overrides."""
+        config = self.config if self.config is not None else _default_config(self.system)
+        overrides: dict[str, object] = {}
+        if self.cluster is not None:
+            overrides["cluster"] = self.cluster
+        if self.obs is not None:
+            overrides["obs"] = self.obs
+        if self.policies is not None:
+            overrides["policies"] = self.policies
+        return replace(config, **overrides) if overrides else config
+
+    def build(self, env: Environment) -> "ServingSystem":
+        """Construct the system this spec describes."""
+        return build_system(
+            self.system,
+            env,
+            self.resolve_config(),
+            faults=self.faults,
+            invariants=self.invariants,
+        )
+
+
+#: Exact REPRO_* environment keys the harness understands (the tunables
+#: add a ``REPRO_TUNE_<FIELD>`` family on top, validated per field).
+_KNOWN_ENV_KEYS = frozenset(
+    {
+        "REPRO_BENCH_HORIZON",
+        "REPRO_BENCH_SCALE",
+        "REPRO_BENCH_SEED",
+        "REPRO_OBS",
+        "REPRO_POLICIES",
+        "REPRO_INVARIANTS",
+    }
+)
+
+
 @dataclass(frozen=True)
 class RunSettings:
     """Run-level knobs shared by the benchmark harness and CI smoke runs.
@@ -371,8 +532,26 @@ class RunSettings:
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "RunSettings":
         """Resolve settings from ``REPRO_BENCH_{HORIZON,SCALE,SEED}``,
-        ``REPRO_OBS``, ``REPRO_POLICIES``, and ``REPRO_TUNE_*``."""
+        ``REPRO_OBS``, ``REPRO_POLICIES``, and ``REPRO_TUNE_*``.
+
+        Any other ``REPRO_*`` key draws a :class:`RuntimeWarning` — a
+        typo'd knob silently doing nothing is worse than noise.
+        """
         environ = os.environ if environ is None else environ
+        known_tune = {
+            f"REPRO_TUNE_{spec.name.upper()}" for spec in fields(Tunables)
+        }
+        for key in environ:
+            if not key.startswith("REPRO_"):
+                continue
+            if key in _KNOWN_ENV_KEYS or key in known_tune:
+                continue
+            warnings.warn(
+                f"unrecognized environment variable {key!r}; known REPRO_* "
+                f"keys: {sorted(_KNOWN_ENV_KEYS)} plus REPRO_TUNE_<FIELD>",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         defaults = cls()
         policies = environ.get("REPRO_POLICIES", "").strip() or None
         return cls(

@@ -1,0 +1,25 @@
+"""Fleet-scale sharded control plane over the serving systems.
+
+``repro.fleet`` scales the single-pool reproduction out: the model
+catalog is consistent-hashed across K shards (each a complete serving
+system built from a :class:`~repro.core.serving.SystemSpec`), one pump
+process routes a streaming workload by model ownership, and per-shard
+streaming stats roll up into fleet-wide latency percentiles, SLO
+attainment, and $/token.  See ``DESIGN.md`` ("Fleet architecture").
+"""
+
+from .partition import CatalogPartitioner
+from .rollup import FleetRollup, LatencyHistogram, ShardStats
+from .runner import FleetConfig, FleetResult, FleetRunner, FleetShard, build_fleet
+
+__all__ = [
+    "CatalogPartitioner",
+    "FleetConfig",
+    "FleetResult",
+    "FleetRollup",
+    "FleetRunner",
+    "FleetShard",
+    "LatencyHistogram",
+    "ShardStats",
+    "build_fleet",
+]

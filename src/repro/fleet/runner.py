@@ -1,0 +1,267 @@
+"""The fleet control plane: K shards, one clock, one request stream.
+
+A :class:`FleetRunner` drives many independent serving systems — each a
+full proxy + schedulers + instance pools built through the existing
+:class:`~repro.core.serving.SystemSpec` seam — from a single simulation
+:class:`~repro.sim.Environment`.  The catalog is split across shards by
+a :class:`~repro.fleet.partition.CatalogPartitioner`; a single pump
+process pulls the global :class:`~repro.workload.stream.RequestStream`
+lazily and submits each request to the shard owning its model.
+
+Shards run in streaming mode (``retain_requests=False``): every terminal
+request is folded into that shard's
+:class:`~repro.fleet.rollup.ShardStats` and dropped, so a 10^5-request
+replay peaks at in-flight concurrency, not trace length.  The per-shard
+stats merge into a :class:`~repro.fleet.rollup.FleetRollup` — fleet
+p50/p99 TTFT/TBT, per-token SLO attainment, and $/token from the
+market's hourly GPU prices — exported through ``repro.obs`` alongside
+each shard's own metric snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.serving import SystemSpec
+from ..obs import ObsConfig, Observability
+from ..policy.placement import MARKET_HOURLY_USD
+from ..sim import Environment
+from .partition import CatalogPartitioner
+from .rollup import FleetRollup, ShardStats
+
+__all__ = [
+    "FleetConfig",
+    "FleetShard",
+    "FleetResult",
+    "FleetRunner",
+    "build_fleet",
+]
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Shape of a fleet: how many shards, built from which spec."""
+
+    shards: int = 4
+    #: Recipe applied to every shard (cluster preset, policies, chaos).
+    spec: SystemSpec = SystemSpec()
+    #: Consistent-hash ring resolution (vnodes per shard).
+    virtual_nodes: int = 64
+    salt: str = "aegaeon-fleet"
+    #: False (default) drops requests at disposal — the bounded-memory
+    #: mode; True keeps per-shard ledgers for post-hoc inspection.
+    retain_requests: bool = False
+    #: Fleet-level observability (shards carry their own via the spec).
+    #: Defaults to metrics-on: the fleet registry is a handful of gauges,
+    #: and the rollup export is the control plane's main product.
+    obs: ObsConfig = field(default_factory=ObsConfig.metrics_only)
+    drain_grace: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+
+
+@dataclass
+class FleetShard:
+    """One shard: a full serving system plus its streaming stats."""
+
+    index: int
+    name: str
+    system: object
+    stats: ShardStats
+    #: Model specs assigned to this shard for the current run.
+    models: tuple = ()
+
+
+@dataclass
+class FleetResult:
+    """Everything measured from one fleet run."""
+
+    rollup: FleetRollup
+    shard_stats: list[ShardStats]
+    submitted: int
+    end_time: float
+    horizon: float
+    gpu_count: int
+    #: GPU-hours at simulated time and the market-rate bill for them.
+    gpu_hours: float
+    cost_usd: float
+    #: Fleet-level metric snapshot (repro.obs registry).
+    metrics: dict = field(default_factory=dict)
+    #: Per-shard repro.obs metric snapshots, index-aligned with shards.
+    shard_metrics: list = field(default_factory=list)
+
+    @property
+    def slo_attainment(self) -> float:
+        return self.rollup.slo_attainment
+
+    @property
+    def cost_per_token(self) -> Optional[float]:
+        return self.rollup.cost_per_token(self.cost_usd)
+
+    def summary(self) -> dict[str, object]:
+        """Fleet rollup plus the run's cost accounting."""
+        out = self.rollup.summary()
+        out.update(
+            submitted=self.submitted,
+            end_time=self.end_time,
+            gpu_count=self.gpu_count,
+            gpu_hours=self.gpu_hours,
+            cost_usd=self.cost_usd,
+            cost_per_token=self.cost_per_token,
+        )
+        return out
+
+
+@dataclass(frozen=True)
+class _ShardCatalog:
+    """The trace-shaped view ``prepare()`` expects: models + horizon."""
+
+    models: tuple
+    horizon: float
+
+
+class FleetRunner:
+    """Drives K sharded serving systems from one simulation clock."""
+
+    def __init__(self, config: FleetConfig, env: Optional[Environment] = None):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        self.partitioner = CatalogPartitioner(
+            config.shards,
+            virtual_nodes=config.virtual_nodes,
+            salt=config.salt,
+        )
+        self.obs = Observability(config.obs, clock=lambda: self.env.now)
+        self.submitted = 0
+        self._all_submitted = False
+        self.shards: list[FleetShard] = []
+        for index in range(config.shards):
+            system = config.spec.build(self.env)
+            stats = ShardStats(shard=index, slo=system.slo)
+            system.configure_streaming(
+                retain_requests=config.retain_requests,
+                request_sink=stats.fold,
+            )
+            shard = FleetShard(
+                index=index, name=f"shard-{index}", system=system, stats=stats
+            )
+            self.shards.append(shard)
+            if self.obs.enabled:
+                registry = system.registry
+                self.obs.metrics.gauge("in_flight", scope=shard.name).set_fn(
+                    lambda registry=registry: registry.in_flight
+                )
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.gauge("shards", scope="fleet").set(config.shards)
+            metrics.gauge("submitted", scope="fleet").set_fn(
+                lambda: self.submitted
+            )
+            metrics.gauge("disposed", scope="fleet").set_fn(self._disposed)
+
+    # -- accounting ----------------------------------------------------------
+    def _disposed(self) -> int:
+        return sum(shard.system.accounted for shard in self.shards)
+
+    @property
+    def gpu_count(self) -> int:
+        return sum(shard.system.gpu_count for shard in self.shards)
+
+    def _hourly_usd(self) -> float:
+        """The fleet's combined market rate, from each shard's cluster."""
+        total = 0.0
+        for shard in self.shards:
+            cluster = getattr(shard.system, "cluster", None)
+            if cluster is not None:
+                for gpu in cluster.gpus:
+                    total += MARKET_HOURLY_USD.get(gpu.spec.name, 0.0)
+            else:
+                # No cluster handle (some baselines): price as H800s.
+                total += shard.system.gpu_count * MARKET_HOURLY_USD["H800"]
+        return total
+
+    # -- the data path -------------------------------------------------------
+    def _pump(self, stream):
+        """Process: route the global stream, shard by model ownership."""
+        env = self.env
+        shard_of = self.partitioner.shard_of
+        shards = self.shards
+        spec_of = stream.spec_of
+        for trace_request in stream:
+            delay = trace_request.arrival - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            shard = shards[shard_of(trace_request.model)]
+            shard.system.submit(trace_request, spec_of(trace_request.model))
+            self.submitted += 1
+        self._all_submitted = True
+
+    def run(self, stream, until: Optional[float] = None) -> FleetResult:
+        """Replay ``stream`` across the fleet to completion or deadline."""
+        assignment = self.partitioner.assign(stream.models)
+        for shard in self.shards:
+            shard.models = tuple(assignment[shard.index])
+            shard.system.prepare(
+                _ShardCatalog(models=shard.models, horizon=stream.horizon)
+            )
+        self.env.process(self._pump(stream))
+        deadline = (
+            until if until is not None else stream.horizon + self.config.drain_grace
+        )
+
+        def watchdog():
+            while not (self._all_submitted and self._disposed() >= self.submitted):
+                if self.env.now >= deadline:
+                    return
+                yield self.env.timeout(1.0)
+
+        self.env.run(until=self.env.process(watchdog()))
+        for shard in self.shards:
+            checker = shard.system.invariant_checker
+            if checker is not None:
+                checker.check_now()
+                checker.assert_clean()
+        return self._collect(stream.horizon)
+
+    def _collect(self, horizon: float) -> FleetResult:
+        shard_stats = [shard.stats for shard in self.shards]
+        rollup = FleetRollup(shard_stats)
+        gpu_hours = self.gpu_count * self.env.now / 3600.0
+        cost_usd = self._hourly_usd() * self.env.now / 3600.0
+        if self.obs.enabled:
+            summary = rollup.summary()
+            metrics = self.obs.metrics
+            for key in (
+                "slo_attainment",
+                "ttft_p50",
+                "ttft_p99",
+                "tbt_p50",
+                "tbt_p99",
+            ):
+                metrics.gauge(key, scope="fleet").set(float(summary[key]))
+        return FleetResult(
+            rollup=rollup,
+            shard_stats=shard_stats,
+            submitted=self.submitted,
+            end_time=self.env.now,
+            horizon=horizon,
+            gpu_count=self.gpu_count,
+            gpu_hours=gpu_hours,
+            cost_usd=cost_usd,
+            metrics=self.obs.metrics.snapshot(),
+            shard_metrics=[
+                shard.system.obs.metrics.snapshot() for shard in self.shards
+            ],
+        )
+
+
+def build_fleet(
+    config: Optional[FleetConfig] = None,
+    env: Optional[Environment] = None,
+) -> FleetRunner:
+    """Construct a fleet control plane — sibling of
+    :func:`~repro.core.serving.build_system`, one level up."""
+    return FleetRunner(config if config is not None else FleetConfig(), env=env)

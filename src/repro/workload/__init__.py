@@ -1,11 +1,27 @@
-"""Workload synthesis: arrivals, datasets, market skew, traces."""
+"""Workload synthesis: arrivals, datasets, market skew, traces, streams.
+
+Two request APIs coexist:
+
+* **Streaming** (:class:`RequestStream`, :func:`stream_trace`,
+  :func:`market_stream`, :func:`deployment_stream`) — arrival-ordered
+  iterables with bounded lookahead, the fleet-scale path.
+* **Materialized** (:class:`Trace`, :func:`materialize_trace`) — the
+  classic full-list format, still used by figure-scale benchmarks.
+  ``RequestStream.materialize()`` bridges streaming → materialized and
+  :func:`stream_of_trace` bridges the other way.
+
+``synthesize_trace`` and ``Dataset.sample`` are deprecated list-returning
+entry points kept for one release.
+"""
 
 from .arrivals import BurstConfig, bursty_arrivals, poisson_arrivals, rate_series
 from .market import (
     MarketShape,
     PRODUCTION_SHAPE,
     deployment_rates,
+    deployment_stream,
     market_rates,
+    market_stream,
     request_share_cdf,
 )
 from .sharegpt import (
@@ -16,7 +32,8 @@ from .sharegpt import (
     sharegpt_ix2,
     sharegpt_ox2,
 )
-from .trace import Trace, TraceRequest, synthesize_trace
+from .stream import RequestStream, stream_of_trace, stream_trace
+from .trace import Trace, TraceRequest, materialize_trace, synthesize_trace
 
 __all__ = [
     "BurstConfig",
@@ -24,17 +41,23 @@ __all__ = [
     "LengthSample",
     "MarketShape",
     "PRODUCTION_SHAPE",
+    "RequestStream",
     "SHAREGPT",
     "Trace",
     "TraceRequest",
     "bursty_arrivals",
     "deployment_rates",
+    "deployment_stream",
     "market_rates",
+    "market_stream",
+    "materialize_trace",
     "poisson_arrivals",
     "rate_series",
     "request_share_cdf",
     "sharegpt",
     "sharegpt_ix2",
     "sharegpt_ox2",
+    "stream_of_trace",
+    "stream_trace",
     "synthesize_trace",
 ]

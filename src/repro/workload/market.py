@@ -12,7 +12,8 @@ Production statistics the paper publishes, which this module reproduces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
@@ -22,6 +23,8 @@ __all__ = [
     "market_rates",
     "deployment_rates",
     "request_share_cdf",
+    "market_stream",
+    "deployment_stream",
 ]
 
 
@@ -109,3 +112,71 @@ def request_share_cdf(rates: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     model_fraction = np.arange(1, ordered.size + 1) / ordered.size
     request_fraction = np.cumsum(ordered) / ordered.sum()
     return model_fraction, request_fraction
+
+
+# -- streaming market workloads ----------------------------------------------
+def market_stream(
+    model_count: int,
+    horizon: float,
+    *,
+    seed: int,
+    total_rate: Optional[float] = None,
+    shape: MarketShape = PRODUCTION_SHAPE,
+    dataset=None,
+    min_b: float = 6.0,
+    max_b: float = 14.5,
+    name: str = "market",
+):
+    """A full market workload as a bounded-memory request stream.
+
+    Builds the Figure 1(a) market at ``model_count`` models — head/tail
+    Zipf skew pinned to the published request split — and returns a
+    :class:`~repro.workload.stream.RequestStream` over it.  ``total_rate``
+    rescales the market's aggregate arrival rate (req/s) so the same
+    skew can be replayed against any fleet capacity; the default keeps
+    the production aggregate, which only a production-scale fleet can
+    absorb.
+    """
+    from ..models.catalog import market_mix
+    from .stream import stream_trace
+
+    scaled = replace(
+        shape,
+        model_count=model_count,
+        total_rate=shape.total_rate if total_rate is None else float(total_rate),
+    )
+    rates = market_rates(scaled)
+    models = market_mix(model_count, min_b, max_b)
+    return stream_trace(
+        models, rates, dataset, horizon, seed=seed, name=name
+    )
+
+
+def deployment_stream(
+    model_count: int,
+    horizon: float,
+    *,
+    seed: int,
+    dataset=None,
+    low: float = 0.01,
+    high: float = 1.13,
+    mean: float = 0.037,
+    min_b: float = 6.0,
+    max_b: float = 14.5,
+    name: str = "deployment",
+):
+    """The §7.5 deployment scenario as a bounded-memory request stream.
+
+    Per-model rates follow the published deployment profile (skewed in
+    [low, high] with the given mean); lengths come from ``dataset``
+    (ShareGPT by default).
+    """
+    from ..models.catalog import market_mix
+    from .stream import stream_trace
+
+    rng = np.random.default_rng(seed)
+    rates = deployment_rates(model_count, rng, low=low, high=high, mean=mean)
+    models = market_mix(model_count, min_b, max_b)
+    return stream_trace(
+        models, rates, dataset, horizon, seed=seed, name=name
+    )

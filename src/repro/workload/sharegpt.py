@@ -13,7 +13,9 @@ evaluation treats ShareGPT purely as an (input_len, output_len) sampler.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
+from typing import Iterator
 
 import numpy as np
 
@@ -49,8 +51,15 @@ class Dataset:
     input_scale: float = 1.0
     output_scale: float = 1.0
 
-    def sample(self, rng: np.random.Generator, count: int = 1) -> list[LengthSample]:
-        """Draw ``count`` i.i.d. length pairs."""
+    def sample_arrays(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` i.i.d. length pairs as (inputs, outputs) int arrays.
+
+        This is the vectorized sampling core (byte-identical draws to the
+        old list-returning ``sample``); the streaming path draws one pair
+        at a time through :meth:`draw` instead.
+        """
         inputs = rng.lognormal(
             mean=np.log(self.input_median), sigma=self.input_sigma, size=count
         )
@@ -63,21 +72,45 @@ class Dataset:
         outputs = np.clip(
             np.round(outputs * self.output_scale), self.min_tokens, self.max_output
         )
-        return [
-            LengthSample(int(i), int(o)) for i, o in zip(inputs, outputs)
-        ]
+        return inputs.astype(int), outputs.astype(int)
+
+    def sample(self, rng: np.random.Generator, count: int = 1) -> list[LengthSample]:
+        """Deprecated: draw ``count`` i.i.d. length pairs as a list.
+
+        Use :meth:`sample_arrays` for bulk draws or :meth:`stream` /
+        :meth:`draw` for the streaming path.
+        """
+        warnings.warn(
+            "Dataset.sample() is deprecated; use Dataset.sample_arrays() "
+            "for bulk draws or Dataset.stream()/draw() for streaming",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        inputs, outputs = self.sample_arrays(rng, count)
+        return [LengthSample(int(i), int(o)) for i, o in zip(inputs, outputs)]
+
+    def draw(self, rng: np.random.Generator) -> LengthSample:
+        """Draw one length pair (the streaming generators' scalar path)."""
+        i = rng.lognormal(mean=np.log(self.input_median), sigma=self.input_sigma)
+        o = rng.lognormal(mean=np.log(self.output_median), sigma=self.output_sigma)
+        i = min(max(round(i * self.input_scale), self.min_tokens), self.max_input)
+        o = min(max(round(o * self.output_scale), self.min_tokens), self.max_output)
+        return LengthSample(int(i), int(o))
+
+    def stream(self, rng: np.random.Generator) -> Iterator[LengthSample]:
+        """An endless iterator of length pairs (bounded memory)."""
+        while True:
+            yield self.draw(rng)
 
     def sample_one(self, rng: np.random.Generator) -> LengthSample:
         """Draw a single length pair."""
-        return self.sample(rng, 1)[0]
+        inputs, outputs = self.sample_arrays(rng, 1)
+        return LengthSample(int(inputs[0]), int(outputs[0]))
 
     def mean_lengths(self, rng: np.random.Generator, n: int = 20000) -> tuple[float, float]:
         """Empirical mean (input, output) lengths — used for calibration."""
-        samples = self.sample(rng, n)
-        return (
-            float(np.mean([s.input_tokens for s in samples])),
-            float(np.mean([s.output_tokens for s in samples])),
-        )
+        inputs, outputs = self.sample_arrays(rng, n)
+        return (float(inputs.mean()), float(outputs.mean()))
 
     def scaled(self, input_scale: float = 1.0, output_scale: float = 1.0, name: str | None = None) -> "Dataset":
         """A copy with scaled lengths (the paper's ix2/ox2 construction)."""

@@ -1,0 +1,180 @@
+"""Streaming workload generation: the fleet-scale request API.
+
+The materialized :class:`~repro.workload.trace.Trace` carried every
+request of a run in memory — fine for a few hundred requests on one
+pool, hopeless for a 10^5–10^6-request market replay across a sharded
+fleet.  A :class:`RequestStream` is the streaming replacement: an
+*iterable* of :class:`~repro.workload.trace.TraceRequest` records in
+arrival order with **bounded lookahead** — at any moment the generator
+holds at most one pending arrival per model (a k-way merge over
+per-model Poisson processes), so peak memory is O(models), independent
+of the request count.
+
+Determinism contract
+--------------------
+A stream is a *recipe*, not a buffer: iterating the same
+:class:`RequestStream` twice replays the identical request sequence,
+because every model draws from its own :class:`numpy.random.Generator`
+seeded by ``SeedSequence(seed).spawn(model_count)``.  Two processes
+constructing the same stream therefore agree byte for byte — the
+property the fleet's reproducibility tests pin.
+
+Compatibility
+-------------
+:meth:`RequestStream.materialize` drains a stream into a classic
+:class:`Trace` for code that still wants the full list (small runs,
+figure benchmarks).  The reverse shim, :func:`stream_of_trace`, wraps an
+existing materialized trace in the streaming interface so every consumer
+can be written against :class:`RequestStream` alone.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..models.catalog import ModelSpec
+from .sharegpt import Dataset, sharegpt
+from .trace import Trace, TraceRequest
+
+__all__ = ["RequestStream", "stream_trace", "stream_of_trace"]
+
+
+class RequestStream:
+    """A replayable, arrival-ordered request source with bounded lookahead.
+
+    ``factory`` builds a fresh iterator of :class:`TraceRequest` records
+    each time the stream is iterated; ``models`` and ``horizon`` carry
+    the metadata a serving system needs up front (cache warming, drain
+    deadline) without touching the request sequence itself.
+    """
+
+    def __init__(
+        self,
+        models: Sequence[ModelSpec],
+        horizon: float,
+        factory: Callable[[], Iterator[TraceRequest]],
+        rates: Optional[Sequence[float]] = None,
+        name: str = "stream",
+    ):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.models = tuple(models)
+        self.horizon = float(horizon)
+        self.rates = None if rates is None else tuple(float(r) for r in rates)
+        self.name = name
+        self._factory = factory
+        self._specs = {spec.name: spec for spec in self.models}
+
+    def __iter__(self) -> Iterator[TraceRequest]:
+        return self._factory()
+
+    def spec_of(self, model_name: str) -> ModelSpec:
+        """Look up the architecture of a model in this stream."""
+        try:
+            return self._specs[model_name]
+        except KeyError:
+            raise KeyError(f"model {model_name!r} not in stream") from None
+
+    @property
+    def expected_requests(self) -> Optional[float]:
+        """Expected request count (``sum(rates) * horizon``) if rates are known."""
+        if self.rates is None:
+            return None
+        return float(sum(self.rates)) * self.horizon
+
+    def materialize(self) -> Trace:
+        """Compatibility shim: drain the stream into a classic :class:`Trace`.
+
+        This intentionally defeats the bounded-memory property — use it
+        only for workloads small enough to hold in memory.
+        """
+        return Trace(
+            requests=tuple(self), models=self.models, horizon=self.horizon
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestStream {self.name!r} models={len(self.models)} "
+            f"horizon={self.horizon:g}s>"
+        )
+
+
+def stream_trace(
+    models: Sequence[ModelSpec],
+    rates: Sequence[float] | np.ndarray,
+    dataset: Optional[Dataset] = None,
+    horizon: float = 150.0,
+    seed: int = 0,
+    start_id: int = 0,
+    name: str = "stream",
+) -> RequestStream:
+    """Streaming counterpart of the materialized trace synthesis.
+
+    Per-model Poisson arrivals (exponential inter-arrival increments)
+    and per-request dataset length draws, merged into one arrival-ordered
+    sequence through a heap that holds exactly one pending request per
+    model.  Request ids are assigned in arrival order starting at
+    ``start_id``, so ids are chronological and disjoint streams can be
+    concatenated by offsetting ``start_id``.
+
+    Each model consumes its own RNG stream
+    (``SeedSequence(seed).spawn(len(models))``), which is what makes the
+    sequence independent of consumption pattern and identical across
+    re-iterations and processes.
+    """
+    if len(models) != len(rates):
+        raise ValueError(
+            f"need one rate per model: {len(models)} models, {len(rates)} rates"
+        )
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    dataset = dataset if dataset is not None else sharegpt()
+    model_tuple = tuple(models)
+    rate_tuple = tuple(float(r) for r in rates)
+    for rate in rate_tuple:
+        if rate < 0:
+            raise ValueError("rates must be non-negative")
+
+    def _iterate() -> Iterator[TraceRequest]:
+        children = np.random.SeedSequence(seed).spawn(len(model_tuple))
+        rngs = [np.random.default_rng(child) for child in children]
+        # Heap of (next_arrival, model_index): one pending entry per
+        # model is the entire lookahead buffer.
+        heap: list[tuple[float, int]] = []
+        for index, rate in enumerate(rate_tuple):
+            if rate <= 0:
+                continue
+            first = float(rngs[index].exponential(1.0 / rate))
+            if first < horizon:
+                heap.append((first, index))
+        heapq.heapify(heap)
+        request_id = start_id
+        while heap:
+            arrival, index = heapq.heappop(heap)
+            rng = rngs[index]
+            sample = dataset.draw(rng)
+            yield TraceRequest(
+                request_id=request_id,
+                model=model_tuple[index].name,
+                arrival=arrival,
+                input_tokens=sample.input_tokens,
+                output_tokens=sample.output_tokens,
+            )
+            request_id += 1
+            nxt = arrival + float(rng.exponential(1.0 / rate_tuple[index]))
+            if nxt < horizon:
+                heapq.heappush(heap, (nxt, index))
+
+    return RequestStream(
+        model_tuple, horizon, _iterate, rates=rate_tuple, name=name
+    )
+
+
+def stream_of_trace(trace: Trace, name: str = "trace") -> RequestStream:
+    """Wrap a materialized :class:`Trace` in the streaming interface."""
+    return RequestStream(
+        trace.models, trace.horizon, lambda: iter(trace.requests), name=name
+    )

@@ -2,19 +2,23 @@
 
 A trace is a time-ordered list of :class:`TraceRequest` records — the
 common input format every serving system in this reproduction consumes.
+Materialized traces suit figure-scale runs; fleet-scale runs stream
+requests instead (see :mod:`repro.workload.stream`), and
+``RequestStream.materialize()`` bridges the two.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..models.catalog import ModelSpec
 from .arrivals import poisson_arrivals
-from .sharegpt import Dataset, LengthSample
+from .sharegpt import Dataset
 
-__all__ = ["TraceRequest", "Trace", "synthesize_trace"]
+__all__ = ["TraceRequest", "Trace", "materialize_trace", "synthesize_trace"]
 
 
 @dataclass(frozen=True)
@@ -59,23 +63,32 @@ class Trace:
 
     def spec_of(self, model_name: str) -> ModelSpec:
         """Look up the architecture of a model in this trace."""
-        for spec in self.models:
-            if spec.name == model_name:
-                return spec
-        raise KeyError(f"model {model_name!r} not in trace")
+        index = self.__dict__.get("_spec_index")
+        if index is None:
+            # Lazily built dict lookup (the linear scan this replaces was
+            # O(models) per request — ruinous at fleet scale).
+            index = {spec.name: spec for spec in self.models}
+            object.__setattr__(self, "_spec_index", index)
+        try:
+            return index[model_name]
+        except KeyError:
+            raise KeyError(f"model {model_name!r} not in trace") from None
 
 
-def synthesize_trace(
+def materialize_trace(
     models: list[ModelSpec],
     rates: list[float] | np.ndarray,
     dataset: Dataset,
     horizon: float,
     seed: int = 0,
 ) -> Trace:
-    """Build a trace: per-model Poisson arrivals + dataset length samples.
+    """Build a fully materialized trace: Poisson arrivals + length samples.
 
     This is the paper's §7.1 workload synthesis ("scaled Poisson
-    processes and random sampling from the datasets").
+    processes and random sampling from the datasets"), kept byte-stable
+    for the figure benchmarks and golden tests.  New code that does not
+    need the full list in memory should prefer
+    :func:`repro.workload.stream.stream_trace`.
     """
     if len(models) != len(rates):
         raise ValueError(
@@ -86,15 +99,15 @@ def synthesize_trace(
     request_id = 0
     for spec, rate in zip(models, rates):
         arrivals = poisson_arrivals(float(rate), horizon, rng)
-        lengths: list[LengthSample] = dataset.sample(rng, len(arrivals))
-        for arrival, sample in zip(arrivals, lengths):
+        inputs, outputs = dataset.sample_arrays(rng, len(arrivals))
+        for arrival, input_tokens, output_tokens in zip(arrivals, inputs, outputs):
             requests.append(
                 TraceRequest(
                     request_id=request_id,
                     model=spec.name,
                     arrival=float(arrival),
-                    input_tokens=sample.input_tokens,
-                    output_tokens=sample.output_tokens,
+                    input_tokens=int(input_tokens),
+                    output_tokens=int(output_tokens),
                 )
             )
             request_id += 1
@@ -111,3 +124,27 @@ def synthesize_trace(
         for index, request in enumerate(requests)
     ]
     return Trace(requests=tuple(requests), models=tuple(models), horizon=horizon)
+
+
+def synthesize_trace(
+    models: list[ModelSpec],
+    rates: list[float] | np.ndarray,
+    dataset: Dataset,
+    horizon: float,
+    seed: int = 0,
+) -> Trace:
+    """Deprecated alias of :func:`materialize_trace`.
+
+    The list-returning synthesis entry point is superseded by the
+    streaming API (:func:`repro.workload.stream.stream_trace`, with
+    ``.materialize()`` when a full :class:`Trace` is genuinely needed);
+    :func:`materialize_trace` keeps the old byte-exact behaviour for
+    callers that depend on it.
+    """
+    warnings.warn(
+        "synthesize_trace() is deprecated; use stream_trace() (streaming) "
+        "or materialize_trace() (explicit full materialization)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return materialize_trace(models, rates, dataset, horizon, seed=seed)

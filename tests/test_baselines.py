@@ -12,14 +12,14 @@ from repro.baselines import (
 from repro.hardware import Cluster, H800
 from repro.models import get_model, market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 GiB = 1024**3
 
 
 def small_trace(n_models, rps=0.1, horizon=60.0, seed=1):
     models = market_mix(n_models)
-    return synthesize_trace(models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed)
+    return materialize_trace(models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed)
 
 
 class TestPlacement:

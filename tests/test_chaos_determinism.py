@@ -23,7 +23,7 @@ from repro.core import AegaeonConfig, build_system
 from repro.models import market_mix
 from repro.obs import ObsConfig
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 from .test_determinism import _canonical
 
@@ -57,7 +57,7 @@ def faulted_run(fault_seed=None):
         faults=plan,
         invariants=True,
     )
-    trace = synthesize_trace(
+    trace = materialize_trace(
         market_mix(4), [0.15] * 4, sharegpt(), horizon=HORIZON, seed=TRACE_SEED
     )
     result = system.serve(trace, warm=False)
@@ -119,7 +119,7 @@ class TestSameSeedIdentical:
             faults=FaultPlan(),
             invariants=True,
         )
-        trace = synthesize_trace(
+        trace = materialize_trace(
             market_mix(4), [0.15] * 4, sharegpt(), horizon=HORIZON, seed=TRACE_SEED
         )
         result = system.serve(trace, warm=False)

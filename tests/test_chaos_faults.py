@@ -22,7 +22,7 @@ from repro.chaos import (
 from repro.core import AegaeonConfig, build_system
 from repro.models import market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 from .strategies import fault_plans
 
@@ -51,7 +51,7 @@ def run_chaos(
         faults=plan,
         invariants=True,
     )
-    trace = synthesize_trace(
+    trace = materialize_trace(
         market_mix(models), [rate] * models, sharegpt(), horizon=horizon, seed=seed
     )
     # warm=False so checkpoint fetches actually hit the (disruptable)

@@ -6,7 +6,7 @@ from repro.core import ProxyLayer, StatusRegistry
 from repro.engine import Phase, Request
 from repro.models import get_model, market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 from repro.workload.trace import TraceRequest
 
 
@@ -16,7 +16,7 @@ class TestProxyReplay:
         seen = []
         proxy = ProxyLayer(env, lambda request: seen.append((env.now, request)))
         models = market_mix(2)
-        trace = synthesize_trace(models, [0.5, 0.5], sharegpt(), horizon=30.0, seed=3)
+        trace = materialize_trace(models, [0.5, 0.5], sharegpt(), horizon=30.0, seed=3)
         env.process(proxy.replay(trace))
         env.run()
         assert len(seen) == len(trace)
@@ -28,7 +28,7 @@ class TestProxyReplay:
         env = Environment()
         proxy = ProxyLayer(env, lambda request: None)
         models = market_mix(1)
-        trace = synthesize_trace(models, [0.2], sharegpt(), horizon=20.0, seed=4)
+        trace = materialize_trace(models, [0.2], sharegpt(), horizon=20.0, seed=4)
         env.process(proxy.replay(trace))
         env.run()
         assert proxy.all_submitted.triggered

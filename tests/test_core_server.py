@@ -8,7 +8,7 @@ from repro.engine import EngineConfig
 from repro.hardware import Cluster, H800
 from repro.models import market_mix, get_model
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 GiB = 1024**3
 
@@ -25,7 +25,7 @@ def small_server(env, prefill=1, decode=2, **engine_overrides):
 
 def small_trace(n_models, rps=0.1, horizon=60.0, seed=1):
     models = market_mix(n_models)
-    return synthesize_trace(models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed)
+    return materialize_trace(models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed)
 
 
 class TestEndToEnd:
@@ -176,6 +176,6 @@ class TestTp4Serving:
         from dataclasses import replace
 
         models = [replace(spec, name=f"Qwen-72B#{i}") for i in range(3)]
-        trace = synthesize_trace(models, [0.05] * 3, sharegpt(), horizon=60.0, seed=5)
+        trace = materialize_trace(models, [0.05] * 3, sharegpt(), horizon=60.0, seed=5)
         result = server.serve(trace)
         assert result.finished_requests == len(trace)

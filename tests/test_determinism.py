@@ -11,7 +11,7 @@ from repro.hardware import Cluster, H800
 from repro.models import market_mix
 from repro.obs import ObsConfig
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 
 def run_aegaeon(seed):
@@ -22,7 +22,7 @@ def run_aegaeon(seed):
         AegaeonConfig(prefill_instances=1, decode_instances=3),
     )
     models = market_mix(8)
-    trace = synthesize_trace(models, [0.1] * 8, sharegpt(), horizon=60.0, seed=seed)
+    trace = materialize_trace(models, [0.1] * 8, sharegpt(), horizon=60.0, seed=seed)
     result = server.serve(trace)
     return [
         (r.request_id, r.prefill_start, r.finish_time, tuple(r.token_times))
@@ -42,7 +42,7 @@ class TestDeterminism:
             env = Environment()
             server = ServerlessLLM(env, Cluster.homogeneous(env, H800, 1, 2))
             models = market_mix(4)
-            trace = synthesize_trace(models, [0.1] * 4, sharegpt(), horizon=40.0, seed=5)
+            trace = materialize_trace(models, [0.1] * 4, sharegpt(), horizon=40.0, seed=5)
             result = server.serve(trace)
             return [(r.request_id, tuple(r.token_times)) for r in result.requests]
 
@@ -74,7 +74,7 @@ def run_unified_with_metrics(seed):
         ),
     )
     models = market_mix(6)
-    trace = synthesize_trace(
+    trace = materialize_trace(
         models, [0.15] * 6, sharegpt(), horizon=40.0, seed=seed
     )
     result = system.serve(trace)

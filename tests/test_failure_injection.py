@@ -14,7 +14,7 @@ from repro.hardware import Cluster, H800, Node
 from repro.memory import HostModelCache, SlabAllocator
 from repro.models import get_model, market_mix
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 GiB = 1024**3
 MiB = 1024**2
@@ -30,7 +30,7 @@ class TestColdCheckpoints:
             AegaeonConfig(prefill_instances=1, decode_instances=2),
         )
         models = market_mix(4)
-        trace = synthesize_trace(models, [0.05] * 4, sharegpt(), horizon=60.0, seed=2)
+        trace = materialize_trace(models, [0.05] * 4, sharegpt(), horizon=60.0, seed=2)
         result = server.serve(trace, warm=False)
         assert result.finished_requests == len(trace)
         fetches = sum(
@@ -50,7 +50,7 @@ class TestColdCheckpoints:
         )
         server = AegaeonServer(env, Cluster.homogeneous(env, H800, 1, 3), config)
         models = market_mix(6)
-        trace = synthesize_trace(models, [0.05] * 6, sharegpt(), horizon=60.0, seed=3)
+        trace = materialize_trace(models, [0.05] * 6, sharegpt(), horizon=60.0, seed=3)
         result = server.serve(trace, warm=False)
         assert result.finished_requests == len(trace)
         assert server.model_cache.evictions > 0
@@ -69,7 +69,7 @@ class TestMemoryPressure:
         )
         server = AegaeonServer(env, Cluster.homogeneous(env, H800, 1, 3), config)
         models = market_mix(4)
-        trace = synthesize_trace(models, [0.05] * 4, sharegpt(), horizon=40.0, seed=4)
+        trace = materialize_trace(models, [0.05] * 4, sharegpt(), horizon=40.0, seed=4)
         result = server.serve(trace)
         assert result.completion_rate > 0.9
 
@@ -120,7 +120,7 @@ class TestDrainDeadline:
         )
         server = AegaeonServer(env, Cluster.homogeneous(env, H800, 1, 2), config)
         models = market_mix(20)
-        trace = synthesize_trace(models, [0.5] * 20, sharegpt(), horizon=30.0, seed=6)
+        trace = materialize_trace(models, [0.5] * 20, sharegpt(), horizon=30.0, seed=6)
         result = server.serve(trace)
         assert env.now <= trace.horizon + config.drain_grace + 2.0
         assert result.completion_rate < 1.0

@@ -5,12 +5,12 @@ import pytest
 from repro.analysis import PoolPlan, plan_pool
 from repro.hardware import H800
 from repro.models import market_mix
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 
 def small_trace(n_models=6, rps=0.08, horizon=60.0, seed=13):
     models = market_mix(n_models)
-    return synthesize_trace(models, [rps] * n_models, sharegpt(), horizon, seed=seed)
+    return materialize_trace(models, [rps] * n_models, sharegpt(), horizon, seed=seed)
 
 
 class TestPlanPool:

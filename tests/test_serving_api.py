@@ -11,6 +11,7 @@ from repro.core import (
     RunSettings,
     ServerlessLLMConfig,
     ServingSystem,
+    SystemSpec,
     UnifiedConfig,
     available_systems,
     build_system,
@@ -19,12 +20,12 @@ from repro.core import (
 from repro.models import market_mix
 from repro.obs import ObsConfig, chrome_trace
 from repro.sim import Environment
-from repro.workload import sharegpt, synthesize_trace
+from repro.workload import sharegpt, materialize_trace
 
 
 def small_trace(n_models=3, rps=0.08, horizon=50.0, seed=11):
     models = market_mix(n_models)
-    return synthesize_trace(
+    return materialize_trace(
         models, [rps] * n_models, sharegpt(), horizon=horizon, seed=seed
     )
 
@@ -174,3 +175,65 @@ class TestRunSettings:
         assert settings.scale == 0.5
         assert settings.seed == 7
         assert settings.obs == ObsConfig.full()
+
+    def test_unknown_repro_key_warns(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_BENCH_HORIZN"):
+            RunSettings.from_env({"REPRO_BENCH_HORIZN": "60"})
+
+    def test_typoed_tunable_warns(self):
+        with pytest.warns(RuntimeWarning, match="REPRO_TUNE_QMAXX"):
+            RunSettings.from_env({"REPRO_TUNE_QMAXX": "8"})
+
+    def test_known_keys_are_quiet(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            RunSettings.from_env(
+                {
+                    "REPRO_BENCH_HORIZON": "60",
+                    "REPRO_OBS": "metrics",
+                    "REPRO_INVARIANTS": "",
+                    "REPRO_TUNE_QMAX": "8",
+                    "OTHER_PREFIX": "ignored",
+                }
+            )
+
+
+class TestSystemSpec:
+    def test_build_matches_build_system(self):
+        spec = SystemSpec(system="aegaeon", config=small_config("aegaeon"))
+        system = spec.build(Environment())
+        direct = build_system(
+            "aegaeon", Environment(), small_config("aegaeon")
+        )
+        assert type(system) is type(direct)
+        assert system.gpu_count == direct.gpu_count
+
+    def test_defaults_resolve_per_system(self):
+        for name in available_systems():
+            config = SystemSpec(system=name).resolve_config()
+            assert config is not None
+            assert hasattr(config, "cluster")
+
+    def test_overrides_apply_without_config(self):
+        spec = SystemSpec(system="muxserve", cluster="h800-pair", policies="aegaeon")
+        config = spec.resolve_config()
+        assert config.cluster == "h800-pair"
+        assert config.policies == "aegaeon"
+
+    def test_overrides_apply_on_top_of_config(self):
+        base = small_config("aegaeon")
+        spec = SystemSpec(config=base, obs=ObsConfig.off())
+        config = spec.resolve_config()
+        assert config.obs == ObsConfig.off()
+        assert config.cluster == base.cluster  # untouched fields survive
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            SystemSpec(system="nope").resolve_config()
+
+    def test_invariants_flag_attaches_checker(self):
+        spec = SystemSpec(config=small_config("aegaeon"), invariants=True)
+        system = spec.build(Environment())
+        assert system.invariant_checker is not None

@@ -16,7 +16,7 @@ from repro.workload import (
     sharegpt,
     sharegpt_ix2,
     sharegpt_ox2,
-    synthesize_trace,
+    materialize_trace,
 )
 
 
@@ -75,9 +75,9 @@ class TestBursty:
 
 class TestShareGpt:
     def test_lengths_positive_and_bounded(self, rng):
-        for sample in sharegpt().sample(rng, 1000):
-            assert 4 <= sample.input_tokens <= 8192
-            assert 4 <= sample.output_tokens <= 2048
+        inputs, outputs = sharegpt().sample_arrays(rng, 1000)
+        assert ((4 <= inputs) & (inputs <= 8192)).all()
+        assert ((4 <= outputs) & (outputs <= 2048)).all()
 
     def test_ix2_doubles_input(self, rng):
         base_in, base_out = sharegpt().mean_lengths(rng, 20000)
@@ -94,7 +94,7 @@ class TestShareGpt:
         assert ox2_in == pytest.approx(base_in, rel=0.1)
 
     def test_heavy_tail(self, rng):
-        lengths = [s.input_tokens for s in sharegpt().sample(rng, 20000)]
+        lengths, _ = sharegpt().sample_arrays(rng, 20000)
         assert np.mean(lengths) > np.median(lengths)  # right-skewed
 
 
@@ -126,36 +126,36 @@ class TestMarket:
 class TestTrace:
     def test_synthesis_counts(self, rng):
         models = market_mix(4)
-        trace = synthesize_trace(models, [0.5] * 4, sharegpt(), horizon=500.0, seed=1)
+        trace = materialize_trace(models, [0.5] * 4, sharegpt(), horizon=500.0, seed=1)
         assert trace.total_rate == pytest.approx(2.0, rel=0.15)
 
     def test_chronological_ids(self):
         models = market_mix(3)
-        trace = synthesize_trace(models, [0.2] * 3, sharegpt(), horizon=200.0, seed=2)
+        trace = materialize_trace(models, [0.2] * 3, sharegpt(), horizon=200.0, seed=2)
         arrivals = [r.arrival for r in trace.requests]
         assert arrivals == sorted(arrivals)
         assert [r.request_id for r in trace.requests] == list(range(len(trace)))
 
     def test_per_model_counts_cover_all(self):
         models = market_mix(5)
-        trace = synthesize_trace(models, [0.1] * 5, sharegpt(), horizon=300.0, seed=3)
+        trace = materialize_trace(models, [0.1] * 5, sharegpt(), horizon=300.0, seed=3)
         counts = trace.per_model_counts()
         assert set(counts) == {spec.name for spec in models}
         assert sum(counts.values()) == len(trace)
 
     def test_rate_mismatch_rejected(self):
         with pytest.raises(ValueError):
-            synthesize_trace(market_mix(3), [0.1] * 2, sharegpt(), horizon=10.0)
+            materialize_trace(market_mix(3), [0.1] * 2, sharegpt(), horizon=10.0)
 
     def test_spec_lookup(self):
         models = market_mix(2)
-        trace = synthesize_trace(models, [0.5, 0.5], sharegpt(), horizon=100.0)
+        trace = materialize_trace(models, [0.5, 0.5], sharegpt(), horizon=100.0)
         assert trace.spec_of(models[0].name) == models[0]
         with pytest.raises(KeyError):
             trace.spec_of("missing")
 
     def test_deterministic_given_seed(self):
         models = market_mix(2)
-        t1 = synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
-        t2 = synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
+        t1 = materialize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
+        t2 = materialize_trace(models, [0.3, 0.3], sharegpt(), horizon=100.0, seed=9)
         assert t1.requests == t2.requests
