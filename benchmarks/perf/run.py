@@ -14,6 +14,12 @@ baseline and exits non-zero when any scenario drops by more than
 ``--max-drop`` (a fraction, default 0.30).  ``--quick`` runs reduced
 problem sizes; quick throughput is compared against the baseline's
 recorded quick numbers when present, else full-size numbers.
+
+``--profile`` additionally runs each scenario once under ``cProfile``
+and writes a ``<suite>_<scenario>.pstats`` artifact (to ``--profile-dir``,
+default the current directory), so a kernel PR can ship evidence of
+where the time went.  The profiled run is separate from the timed
+trials — profiler overhead never pollutes the recorded throughput.
 """
 
 from __future__ import annotations
@@ -62,6 +68,40 @@ def measure(quick: bool, repeat: int, suite: str = "kernel") -> dict:
             flush=True,
         )
     return report
+
+
+def profile_suite(suite: str, quick: bool, out_dir: Path) -> list[Path]:
+    """Run each suite scenario once under cProfile; write ``.pstats`` files.
+
+    Returns the artifact paths.  Kept separate from :func:`measure` so
+    profiler overhead never contaminates the timed trials.
+    """
+    import cProfile
+    import pstats
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    for name in SUITES[suite]:
+        print(f"[perf] profiling {name} ...", flush=True)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        SCENARIOS[name](quick=quick)
+        profiler.disable()
+        path = out_dir / f"{suite}_{name}.pstats"
+        profiler.dump_stats(path)
+        paths.append(path)
+        stats = pstats.Stats(profiler)
+        total = stats.total_tt  # type: ignore[attr-defined]
+        rows = sorted(
+            stats.stats.items(),  # type: ignore[attr-defined]
+            key=lambda kv: kv[1][2],
+            reverse=True,
+        )[:5]
+        print(f"[perf] wrote {path} ({total:.3f}s profiled); top self-time:")
+        for (filename, lineno, func), (_, _, tottime, _, _) in rows:
+            where = f"{Path(filename).name}:{lineno}" if lineno else filename
+            print(f"[perf]   {tottime:8.3f}s  {func} ({where})")
+    return paths
 
 
 def check(report: dict, baseline_path: Path, max_drop: float) -> int:
@@ -133,6 +173,15 @@ def main(argv: list[str] | None = None) -> int:
         "--repeat", type=int, default=3,
         help="trials per scenario, best kept (default 3)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also run each scenario once under cProfile and write "
+        "<suite>_<scenario>.pstats artifacts",
+    )
+    parser.add_argument(
+        "--profile-dir", type=Path, default=Path("."),
+        help="directory for --profile .pstats artifacts (default: cwd)",
+    )
     args = parser.parse_args(argv)
     if args.baseline is None:
         args.baseline = _REPO_ROOT / _SUITE_BASELINES.get(
@@ -140,6 +189,9 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     report = measure(quick=args.quick, repeat=args.repeat, suite=args.suite)
+
+    if args.profile:
+        profile_suite(args.suite, quick=args.quick, out_dir=args.profile_dir)
 
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

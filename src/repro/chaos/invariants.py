@@ -168,7 +168,7 @@ class InvariantChecker:
             for index in indices:
                 slab = slabs[index]
                 assigned += 1
-                used = len(slab.used_blocks)
+                used = slab.used_count
                 free = len(slab.free_blocks)
                 if used + free != slab.blocks_per_slab:
                     self._flag(

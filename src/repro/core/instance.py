@@ -93,10 +93,20 @@ class PrefillInstance:
     ) -> float:
         """Execution + auto-scaling estimate for one queued group."""
         latency = self.engine.latency_model(group.spec)
-        execution = sum(
-            latency.prefill_time_single(request.input_tokens)
-            for request in group.requests
-        )
+        requests = group.requests
+        if len(requests) >= 8:
+            # One vectorized Eq. 5 pass; accumulate in Python order so the
+            # total is byte-identical to the scalar sum it replaces.
+            execution = 0.0
+            for value in latency.prefill_time_batch(
+                [request.input_tokens for request in requests]
+            ).tolist():
+                execution += value
+        else:
+            execution = sum(
+                latency.prefill_time_single(request.input_tokens)
+                for request in requests
+            )
         switch = 0.0
         if previous is None or previous.name != group.spec.name:
             switch = self.engine.estimate_switch_time(group.spec)
@@ -155,7 +165,7 @@ class PrefillInstance:
                     if request.kv is not None:
                         self.engine.kv.abort_request(request.kv)
                         request.kv = None
-                    request.token_times.clear()
+                    request.reset_progress()
                     if self.on_failed is not None:
                         self.on_failed(request)
                 self._inflight = None
@@ -365,12 +375,29 @@ class DecodeInstance:
             self.work_list[:] = reordered
         batches = list(self.work_list)
         engine = self.engine
-        step_times = [
-            engine.decode_step_time(
-                batch.spec, batch.size or 1, batch.context_tokens or 1
-            )
-            for batch in batches
-        ]
+        if len(batches) >= 4:
+            # Vectorized Eq. 6 for the whole round: one numpy pass per
+            # distinct model, scattered back into work-list order.
+            step_times = [0.0] * len(batches)
+            by_spec: dict[str, list[int]] = {}
+            for index, batch in enumerate(batches):
+                by_spec.setdefault(batch.spec.name, []).append(index)
+            for indices in by_spec.values():
+                spec = batches[indices[0]].spec
+                times = engine.decode_time_batch(
+                    spec,
+                    [batches[i].size or 1 for i in indices],
+                    [batches[i].context_tokens or 1 for i in indices],
+                ).tolist()
+                for i, value in zip(indices, times):
+                    step_times[i] = value
+        else:
+            step_times = [
+                engine.decode_step_time(
+                    batch.spec, batch.size or 1, batch.context_tokens or 1
+                )
+                for batch in batches
+            ]
         switch_cost = self._round_switch_cost(batches)
         quotas = self.turn_policy.quotas(batches, step_times, switch_cost, self.slo)
         tracer = self._tracer
@@ -493,20 +520,36 @@ class DecodeInstance:
         while env.now - turn_start < quota and not batch.exhausted:
             # Requests that joined the batch mid-round still sit in the
             # CPU cache; pull them in so they decode within this turn.
-            if any(r.kv is not None and r.kv.location == "cpu" for r in batch.requests):
-                yield from self._swap_in_batch(batch)
-            ready = [r for r in batch.requests if r.kv is not None and r.kv.ready_on_gpu()]
+            for r in batch.requests:
+                kv = r.kv
+                if kv is not None and kv.location == "cpu":
+                    yield from self._swap_in_batch(batch)
+                    break
+            # One pass gathers the ready set plus the context total and
+            # the minimum remaining tokens it implies — this loop runs
+            # once per decode chunk across every running batch, so it
+            # reads the flattened request fields directly.
+            ready = []
+            context_total = 0
+            min_remaining = 0
+            for r in batch.requests:
+                kv = r.kv
+                if kv is not None and kv.ready_on_gpu():
+                    ready.append(r)
+                    generated = r.generated_tokens
+                    context_total += r.input_tokens + generated
+                    remaining = r.output_tokens - generated
+                    if remaining < min_remaining or len(ready) == 1:
+                        min_remaining = remaining
             if not ready:
                 yield from self._wait_for_any_transfer(batch)
                 continue
-            step = engine.decode_step_time(
-                batch.spec, len(ready), sum(r.context_tokens for r in ready)
-            )
+            step = engine.decode_step_time(batch.spec, len(ready), context_total)
             remaining_time = quota - (env.now - turn_start)
             steps = max(1, min(
                 DECODE_CHUNK_STEPS,
                 int(remaining_time // step) if step > 0 else DECODE_CHUNK_STEPS,
-                min(r.remaining_tokens for r in ready),
+                min_remaining,
             ))
             chunk_start = env.now
             yield from engine.decode_for(batch.spec, steps * step)
@@ -554,9 +597,15 @@ class DecodeInstance:
         batch.requests.clear()
 
     def _retire_finished(self, batch: DecodeBatch) -> None:
-        if not any(r.finished for r in batch.requests):
+        finished = None
+        for r in batch.requests:
+            if r.generated_tokens >= r.output_tokens:
+                if finished is None:
+                    finished = []
+                finished.append(r)
+        if finished is None:
             return
-        for request in [r for r in batch.requests if r.finished]:
+        for request in finished:
             batch.requests.remove(request)
             if request.kv is not None and request.kv.location == "gpu":
                 self.engine.kv.free_gpu(request.kv)

@@ -290,7 +290,7 @@ class AegaeonServer(ServingSystemBase):
         if kv is not None:
             instance.engine.kv.abort_request(kv)
             request.kv = None
-        request.token_times.clear()
+        request.reset_progress()
         request.phase = Phase.QUEUED
         request.prefill_start = None
         request.prefill_end = None

@@ -402,6 +402,24 @@ class AegaeonEngine:
         """Predicted duration of one decode step (Eq. 6)."""
         return self.latency_model(spec).decode_step_time(batch, context) * self.perf_factor
 
+    def decode_time_batch(self, spec: ModelSpec, batch_sizes, context_tokens):
+        """Vectorized Eq. 6 over a whole decode round (one numpy pass).
+
+        Element-wise identical to ``decode_step_time`` — the perf factor
+        is applied per element exactly as the scalar path does.
+        """
+        return (
+            self.latency_model(spec).decode_time_batch(batch_sizes, context_tokens)
+            * self.perf_factor
+        )
+
+    def prefill_time_batch(self, spec: ModelSpec, input_lengths):
+        """Vectorized Eq. 5 across many single-prompt prefills."""
+        return (
+            self.latency_model(spec).prefill_time_batch(input_lengths)
+            * self.perf_factor
+        )
+
     def decode_for(self, spec: ModelSpec, duration: float) -> Generator:
         """Process: occupy the default stream decoding for ``duration``."""
         self._require_active(spec)

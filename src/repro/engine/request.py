@@ -46,6 +46,19 @@ class Request:
     # Time this request's batch actually spent decoding while the
     # request was in it (feeds the Figure 14 latency breakdown).
     decode_exec_time: float = 0.0
+    # Flattened hot fields.  ``input_tokens``/``output_tokens`` are copied
+    # out of the trace and ``generated_tokens`` is maintained by
+    # ``record_tokens`` so the per-step scheduler loops read plain slots
+    # instead of chasing trace delegation / ``len(token_times)`` through
+    # properties millions of times per run.
+    input_tokens: int = field(init=False, repr=False)
+    output_tokens: int = field(init=False, repr=False)
+    generated_tokens: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.input_tokens = self.trace.input_tokens
+        self.output_tokens = self.trace.output_tokens
+        self.generated_tokens = len(self.token_times)
 
     # -- identity ----------------------------------------------------------
     @property
@@ -60,20 +73,7 @@ class Request:
     def arrival(self) -> float:
         return self.trace.arrival
 
-    @property
-    def input_tokens(self) -> int:
-        return self.trace.input_tokens
-
-    @property
-    def output_tokens(self) -> int:
-        return self.trace.output_tokens
-
     # -- progress ----------------------------------------------------------
-    @property
-    def generated_tokens(self) -> int:
-        """Output tokens produced so far (prefill's token included)."""
-        return len(self.token_times)
-
     @property
     def remaining_tokens(self) -> int:
         return self.output_tokens - self.generated_tokens
@@ -94,11 +94,18 @@ class Request:
     # -- mutation ----------------------------------------------------------
     def record_tokens(self, times: list[float]) -> None:
         """Append completion timestamps for newly generated tokens."""
-        if self.generated_tokens + len(times) > self.output_tokens:
+        generated = self.generated_tokens + len(times)
+        if generated > self.output_tokens:
             raise ValueError(
                 f"request {self.request_id}: generated past output length"
             )
         self.token_times.extend(times)
+        self.generated_tokens = generated
+
+    def reset_progress(self) -> None:
+        """Restart from prefill: discard generated tokens and their times."""
+        self.token_times.clear()
+        self.generated_tokens = 0
 
     def complete(self, now: float) -> None:
         """Mark the request finished."""

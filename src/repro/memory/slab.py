@@ -11,6 +11,26 @@ This module is a real allocator: every block handed out is a distinct
 :class:`KvBlock` with a stable address, double-free and cross-shape
 accounting is enforced, and the fragmentation statistics behind the
 paper's Figure 16 are measured from live state.
+
+Hot-path design (the allocator sits on the per-decode-round path of
+every instance):
+
+* **Block arena** — ``KvBlock`` is immutable, so each slab memoizes the
+  blocks it has ever minted (lazily, per index) and hands the same
+  object out on every reuse.  Steady-state allocation does zero tuple
+  construction.
+* **Consolidated per-shape state** — block size, free-block total,
+  availability list, and assigned-slab list live in one ``_ShapeRec``,
+  fetched with a single dict lookup per ``alloc``; the free path
+  reaches it through ``Slab._rec`` with no hashing.  ``capacity_for``
+  reads the incrementally-maintained free total and never scans slabs.
+* **Availability lists** — per-shape lists of slabs that still have
+  free blocks, compacted lazily during allocation, so ``alloc`` never
+  iterates full slabs.  Stale entries (slab released or reassigned) are
+  recognised by ``Slab._avail_shape`` and dropped on sight.
+* **Bitmap occupancy** — per-slab ``bytearray`` occupancy plus an
+  integer count replace the old per-slab ``set``; double-free detection
+  is one index probe.
 """
 
 from __future__ import annotations
@@ -29,7 +49,8 @@ class KvBlock(NamedTuple):
     A NamedTuple rather than a frozen dataclass: blocks are minted on
     the allocator's hottest path and tuple construction is several times
     cheaper than ``object.__setattr__`` per field, with the same
-    immutability, equality, and hashability.
+    immutability, equality, and hashability.  Immutability is also what
+    lets slabs memoize and re-issue the same block object.
     """
 
     slab_index: int
@@ -52,7 +73,24 @@ class Slab:
     shape: Optional[Hashable] = None
     block_bytes: int = 0
     free_blocks: list[int] = field(default_factory=list)
-    used_blocks: set[int] = field(default_factory=set)
+    used_count: int = 0
+    # Occupancy bitmap: _used_state[i] is truthy iff block i is live.
+    _used_state: bytearray = field(default_factory=bytearray, repr=False)
+    # Shape this slab is listed under in the allocator's availability
+    # lists, or None when not listed (full, free, or released).  Lets
+    # stale availability entries be recognised without bookkeeping on
+    # the release path.
+    _avail_shape: Optional[Hashable] = field(default=None, repr=False)
+    # Lazily-minted KvBlock memo for the current shape (index -> block).
+    # One memo list is kept per shape ever hosted (``_block_caches``), so
+    # a slab oscillating between shapes re-issues its old arena instead
+    # of re-minting every block on each rebind.
+    _block_cache: list = field(default_factory=list, repr=False)
+    _block_caches: dict = field(default_factory=dict, repr=False)
+    # The allocator's per-shape record this slab is assigned under
+    # (set by _acquire_slab); gives the free path its shape bookkeeping
+    # without any dict lookups.
+    _rec: Optional["_ShapeRec"] = field(default=None, repr=False)
 
     @property
     def blocks_per_slab(self) -> int:
@@ -60,7 +98,7 @@ class Slab:
 
     @property
     def is_empty(self) -> bool:
-        return not self.used_blocks
+        return not self.used_count
 
     @property
     def is_full(self) -> bool:
@@ -76,8 +114,15 @@ class Slab:
             )
         self.shape = shape
         self.block_bytes = block_bytes
-        self.free_blocks = list(range(self.nbytes // block_bytes))
-        self.used_blocks = set()
+        count = self.nbytes // block_bytes
+        self.free_blocks = list(range(count))
+        self.used_count = 0
+        self._used_state = bytearray(count)
+        cache = self._block_caches.get(shape)
+        if cache is None:
+            cache = [None] * count
+            self._block_caches[shape] = cache
+        self._block_cache = cache
 
     def unassign(self) -> None:
         """Return the slab to the shared pool (must be empty)."""
@@ -86,7 +131,9 @@ class Slab:
         self.shape = None
         self.block_bytes = 0
         self.free_blocks = []
-        self.used_blocks = set()
+        self.used_count = 0
+        self._used_state = bytearray()
+        self._avail_shape = None
 
 
 @dataclass(frozen=True)
@@ -115,6 +162,30 @@ class ShapeStats:
         return 1.0 - self.used_bytes / self.held_bytes
 
 
+class _ShapeRec:
+    """All per-shape allocator state, one dict lookup away.
+
+    ``alloc`` fetches this record once per call; the free path reaches
+    it through ``Slab._rec`` with no hashing at all.  Records are never
+    deleted — a shape that loses its last slab keeps its registered
+    ``block_bytes`` (conflicting re-registration stays an error) with
+    ``free_count`` back at zero.
+    """
+
+    __slots__ = ("block_bytes", "per_slab", "free_count", "avail", "slabs")
+
+    def __init__(self, block_bytes: int, per_slab: int):
+        self.block_bytes = block_bytes
+        self.per_slab = per_slab
+        self.free_count = 0
+        # Indices of assigned slabs believed to have free blocks, in
+        # listing order; may contain stale entries, which alloc() drops
+        # when their _avail_shape no longer matches.
+        self.avail: list[int] = []
+        # Indices of slabs currently assigned to this shape.
+        self.slabs: list[int] = []
+
+
 class SlabAllocator:
     """Unified KV cache over a region divided into fixed-size slabs."""
 
@@ -132,9 +203,9 @@ class SlabAllocator:
         self.region_bytes = self.slab_count * slab_bytes
         self._slabs = [Slab(index=i, nbytes=slab_bytes) for i in range(self.slab_count)]
         self._free_slabs: list[int] = list(range(self.slab_count))
-        # shape -> indices of slabs currently assigned to it
-        self._shape_slabs: dict[Hashable, list[int]] = {}
-        self._block_bytes: dict[Hashable, int] = {}
+        # shape -> consolidated per-shape state (block size, free-block
+        # total, availability list, assigned slabs); one hash per alloc.
+        self._shapes: dict[Hashable, _ShapeRec] = {}
         self._held_bytes = 0
         self.peak_held_bytes = 0
         # Plain-int lifetime totals, always live (unlike the obs
@@ -159,13 +230,16 @@ class SlabAllocator:
         """
         if count <= 0:
             raise ValueError("count must be positive")
-        known = self._block_bytes.setdefault(shape, block_bytes)
-        if known != block_bytes:
+        rec = self._shapes.get(shape)
+        if rec is None:
+            rec = _ShapeRec(block_bytes, self.slab_bytes // block_bytes)
+            self._shapes[shape] = rec
+        elif rec.block_bytes != block_bytes:
             raise ValueError(
-                f"shape {shape!r} registered with block_bytes={known}, "
+                f"shape {shape!r} registered with block_bytes={rec.block_bytes}, "
                 f"got {block_bytes}"
             )
-        if self.capacity_for(shape, block_bytes) < count:
+        if (rec.free_count + len(self._free_slabs) * rec.per_slab) < count:
             raise MemoryError(
                 f"unified cache cannot hold {count} blocks of {shape!r}"
             )
@@ -173,87 +247,161 @@ class SlabAllocator:
         append = blocks.append
         slabs = self._slabs
         remaining = count
-        for slab_index in self._shape_slabs.get(shape, []):
-            slab = slabs[slab_index]
-            free_list = slab.free_blocks
-            if not free_list:
-                continue
-            used = slab.used_blocks
-            slab_shape = slab.shape
-            block_nbytes = slab.block_bytes
-            while free_list and remaining:
-                block_index = free_list.pop()
-                used.add(block_index)
-                append(KvBlock(slab_index, block_index, slab_shape, block_nbytes))
-                remaining -= 1
-            if not remaining:
-                break
+        avail = rec.avail
+        if avail:
+            read = write = 0
+            n_avail = len(avail)
+            while read < n_avail and remaining:
+                slab_index = avail[read]
+                read += 1
+                slab = slabs[slab_index]
+                if slab._avail_shape is not shape:
+                    continue  # stale: released or reassigned since listed
+                free_list = slab.free_blocks
+                state = slab._used_state
+                cache = slab._block_cache
+                taken = 0
+                while free_list and remaining:
+                    block_index = free_list.pop()
+                    state[block_index] = 1
+                    block = cache[block_index]
+                    if block is None:
+                        block = KvBlock(
+                            slab_index, block_index, shape, block_bytes
+                        )
+                        cache[block_index] = block
+                    append(block)
+                    taken += 1
+                    remaining -= 1
+                slab.used_count += taken
+                if free_list:
+                    avail[write] = slab_index
+                    write += 1
+                else:
+                    slab._avail_shape = None
+            if write != read:
+                del avail[write:read]
         while remaining:
-            slab = self._acquire_slab(shape, block_bytes)
+            slab = self._acquire_slab(shape, block_bytes, rec)
             free_list = slab.free_blocks
-            used = slab.used_blocks
+            state = slab._used_state
+            cache = slab._block_cache
             slab_index = slab.index
-            block_nbytes = slab.block_bytes
+            taken = 0
             while free_list and remaining:
                 block_index = free_list.pop()
-                used.add(block_index)
-                append(KvBlock(slab_index, block_index, shape, block_nbytes))
+                state[block_index] = 1
+                block = cache[block_index]
+                if block is None:
+                    block = KvBlock(slab_index, block_index, shape, block_bytes)
+                    cache[block_index] = block
+                append(block)
+                taken += 1
                 remaining -= 1
+            slab.used_count += taken
+            if not free_list:
+                slab._avail_shape = None
+        rec.free_count -= count
         self.blocks_allocated += count
         self._blocks_allocated.inc(count)
         return blocks
 
     def free(self, blocks: list[KvBlock]) -> None:
-        """Release blocks; empty slabs return to the shared pool."""
+        """Release blocks; empty slabs return to the shared pool.
+
+        Blocks from one allocation come in slab-contiguous runs, so the
+        per-slab bookkeeping (``used_count``, the shape's free total, the
+        release/relist decision) is applied once per run instead of once
+        per block; only the occupancy bit and the free-list push remain
+        per-block work.
+        """
         slabs = self._slabs
+        slab = None
+        slab_index = -1
+        run = 0
+        shape = state = free_list = None
         for block in blocks:
-            slab = slabs[block.slab_index]
-            if slab.shape is not block.shape and slab.shape != block.shape:
+            index = block.slab_index
+            if index != slab_index:
+                if run:
+                    self._finish_free_run(slab, run)
+                slab = slabs[index]
+                slab_index = index
+                run = 0
+                shape = slab.shape
+                state = slab._used_state
+                free_list = slab.free_blocks
+            if shape is not block.shape and shape != block.shape:
                 raise ValueError(
                     f"block {block.address} shape {block.shape!r} does not "
-                    f"match slab shape {slab.shape!r} (double free?)"
+                    f"match slab shape {shape!r} (double free?)"
                 )
-            used = slab.used_blocks
             block_index = block.block_index
-            if block_index not in used:
+            if not state[block_index]:
                 raise ValueError(f"double free of block {block.address}")
-            used.remove(block_index)
-            slab.free_blocks.append(block_index)
-            if not used:
-                self._release_slab(slab)
+            state[block_index] = 0
+            free_list.append(block_index)
+            run += 1
+        if run:
+            self._finish_free_run(slab, run)
         self.blocks_freed += len(blocks)
         self._blocks_freed.inc(len(blocks))
+
+    def _finish_free_run(self, slab: Slab, run: int) -> None:
+        """Apply the per-slab accounting for ``run`` just-freed blocks.
+
+        Equivalent to the former per-block updates: nothing can allocate
+        between the blocks of one ``free()`` call, so deferring the
+        counter updates and the release/relist decision to the end of the
+        run is unobservable.
+        """
+        rec = slab._rec
+        slab.used_count -= run
+        rec.free_count += run
+        if not slab.used_count:
+            self._release_slab(slab)
+        elif slab._avail_shape is None:
+            # Was full (or lazily delisted); list it again.
+            slab._avail_shape = slab.shape
+            rec.avail.append(slab.index)
 
     # -- capacity ------------------------------------------------------------
     def capacity_for(self, shape: Hashable, block_bytes: int) -> int:
         """Blocks of ``shape`` allocatable right now (free + reclaimable)."""
-        free_in_shape = sum(
-            len(self._slabs[i].free_blocks)
-            for i in self._shape_slabs.get(shape, [])
-        )
-        per_slab = self.slab_bytes // block_bytes
-        return free_in_shape + len(self._free_slabs) * per_slab
+        rec = self._shapes.get(shape)
+        if rec is None:
+            return len(self._free_slabs) * (self.slab_bytes // block_bytes)
+        return rec.free_count + len(self._free_slabs) * rec.per_slab
 
     @property
     def free_slab_count(self) -> int:
         return len(self._free_slabs)
 
     # -- statistics (Figure 16) ------------------------------------------------
+    @property
+    def _shape_slabs(self) -> dict[Hashable, list[int]]:
+        """shape -> assigned slab indices (view; cold-path introspection)."""
+        return {
+            shape: rec.slabs
+            for shape, rec in self._shapes.items()
+            if rec.slabs
+        }
+
     def shape_stats(self) -> list[ShapeStats]:
         """Occupancy per shape, for shapes currently holding slabs."""
         stats = []
-        for shape, slab_indices in sorted(
-            self._shape_slabs.items(), key=lambda kv: str(kv[0])
+        for shape, rec in sorted(
+            self._shapes.items(), key=lambda kv: str(kv[0])
         ):
-            if not slab_indices:
+            if not rec.slabs:
                 continue
-            used = sum(len(self._slabs[i].used_blocks) for i in slab_indices)
+            used = sum(self._slabs[i].used_count for i in rec.slabs)
             stats.append(
                 ShapeStats(
                     shape=shape,
-                    block_bytes=self._block_bytes[shape],
+                    block_bytes=rec.block_bytes,
                     used_blocks=used,
-                    slab_count=len(slab_indices),
+                    slab_count=len(rec.slabs),
                     slab_bytes=self.slab_bytes,
                 )
             )
@@ -273,31 +421,28 @@ class SlabAllocator:
         return self._held_bytes
 
     # -- internal ----------------------------------------------------------
-    def _take(self, slab: Slab) -> KvBlock:
-        block_index = slab.free_blocks.pop()
-        slab.used_blocks.add(block_index)
-        return KvBlock(
-            slab_index=slab.index,
-            block_index=block_index,
-            shape=slab.shape,
-            nbytes=slab.block_bytes,
-        )
-
-    def _acquire_slab(self, shape: Hashable, block_bytes: int) -> Slab:
+    def _acquire_slab(
+        self, shape: Hashable, block_bytes: int, rec: _ShapeRec
+    ) -> Slab:
         if not self._free_slabs:
             raise MemoryError("no free slabs")
         slab = self._slabs[self._free_slabs.pop()]
         slab.assign(shape, block_bytes)
-        self._shape_slabs.setdefault(shape, []).append(slab.index)
+        slab._avail_shape = shape
+        slab._rec = rec
+        rec.slabs.append(slab.index)
+        rec.avail.append(slab.index)
+        rec.free_count += len(slab.free_blocks)
         self._held_bytes += self.slab_bytes
         if self._held_bytes > self.peak_held_bytes:
             self.peak_held_bytes = self._held_bytes
         return slab
 
     def _release_slab(self, slab: Slab) -> None:
-        self._shape_slabs[slab.shape].remove(slab.index)
-        if not self._shape_slabs[slab.shape]:
-            del self._shape_slabs[slab.shape]
+        rec = slab._rec
+        rec.slabs.remove(slab.index)
+        rec.free_count -= len(slab.free_blocks)
+        slab._rec = None
         slab.unassign()
         self._free_slabs.append(slab.index)
         self._held_bytes -= self.slab_bytes

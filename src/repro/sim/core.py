@@ -17,6 +17,23 @@ Design notes
 
 Hot-path engineering (see DESIGN.md "Performance notes")
 --------------------------------------------------------
+* **Batched same-timestamp dispatch.**  The run loop drains every heap
+  entry sharing the front timestamp into a FIFO tick batch in one pass,
+  then dispatches from the batch without further heap traffic.  Events
+  scheduled *for the current instant while the batch is live* (zero-delay
+  triggers, process init events, immediate-resume relays) are appended to
+  the batch directly and never touch the heap at all.  Because the batch
+  is drained in heap (``(time, seq)``) order and every in-tick append has
+  a later logical sequence than everything already in the batch, the
+  global firing order is byte-identical to a pure-heap kernel.  See
+  DESIGN.md for the ordering rules new event sources must follow.
+* **Single-waiter fast path.**  The common case — exactly one process
+  waiting on an event — stores the waiting process in the event's
+  ``_waiter`` slot instead of materializing a callbacks-list entry, and
+  the run loop resumes the generator inline (no bound-method dispatch).
+  The callbacks list is still there for multi-waiter events, conditions,
+  and external subscribers; the waiter always fires first because it is
+  only installed when the callbacks list is empty (earliest attachment).
 * Every kernel object carries ``__slots__``; there are no instance dicts
   on the event path.
 * :class:`Event`, :class:`Timeout`, and :class:`Process` objects are
@@ -24,9 +41,12 @@ Hot-path engineering (see DESIGN.md "Performance notes")
   pool only when the run loop holds the *sole* remaining reference
   (checked with ``sys.getrefcount``), so any event a component keeps a
   handle on — a wake event, a prefetch process, a condition sub-event —
-  is never reused out from under it.  Failed events are recycled only
-  after their failure has been defused (observed); an unobserved failure
-  still surfaces at :meth:`Environment.run` with its exception intact.
+  is never reused out from under it.  Pooled objects are reset at
+  *recycle* time (restoring the emptied callbacks list in place instead
+  of allocating a fresh one), so the factories only touch the fields that
+  differ per use.  Failed events are recycled only after their failure
+  has been defused (observed); an unobserved failure still surfaces at
+  :meth:`Environment.run` with its exception intact.
 * Timeouts support *lazy cancellation*: :meth:`Timeout.cancel` (and
   :meth:`Process.interrupt` orphaning a timeout) marks the heap entry
   dead, and the run loop drops it at pop time instead of re-heapifying.
@@ -37,6 +57,7 @@ Hot-path engineering (see DESIGN.md "Performance notes")
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -78,6 +99,17 @@ _PROCESSED = 2  # callbacks have run
 # Per-class freelist size cap; beyond this, objects fall back to the GC.
 _POOL_CAP = 4096
 
+# Sentinel distinguishing "generator terminated" from a yielded None
+# (which must surface as a SimulationError) in the inlined resume path.
+_DONE = object()
+
+# Processed marker, stored in the ``_waiter`` slot when an event is
+# dispatched.  Folding "has been processed" into the slot the dispatcher
+# must touch anyway saves a per-event state store on the hot path; the
+# ``_state`` field stops at _TRIGGERED and public ``processed`` reads the
+# sentinel instead.
+_FIRED = object()
+
 
 class Event:
     """A one-shot occurrence that processes can wait on.
@@ -87,7 +119,16 @@ class Event:
     queued), and *processed* (its callbacks have run).
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused", "_cancelled")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_ok",
+        "_state",
+        "_defused",
+        "_cancelled",
+        "_waiter",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -100,6 +141,10 @@ class Event:
         self._defused = False
         # Lazy cancellation: dead heap entries are dropped at pop time.
         self._cancelled = False
+        # Single-waiter fast path: the first process to wait on a
+        # callback-free event parks here and is resumed inline by the
+        # run loop.  Always fires before the callbacks list.
+        self._waiter: Optional[Process] = None
 
     # -- state inspection ------------------------------------------------
     @property
@@ -110,7 +155,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have been executed."""
-        return self._state == _PROCESSED
+        return self._waiter is _FIRED
 
     @property
     def ok(self) -> bool:
@@ -137,7 +182,6 @@ class Event:
         env = self.env
         heappush(env._queue, (env._now, env._sequence, self))
         env._sequence += 1
-        env.events_scheduled += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -157,23 +201,41 @@ class Event:
         env = self.env
         heappush(env._queue, (env._now, env._sequence, self))
         env._sequence += 1
-        env.events_scheduled += 1
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event."""
-        if event._ok:
+        if event._ok or event._cancelled:
             self.succeed(event._value)
         else:
             self._defused = True
             self.fail(event._value)
 
     # -- internal --------------------------------------------------------
-    def _run_callbacks(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        self._state = _PROCESSED
-        for callback in callbacks:
-            callback(self)
+    def _fire(self) -> None:
+        """Mark processed and run the waiter plus any listed callbacks.
+
+        Generic (non-inlined) dispatch, used by :meth:`Environment.step`
+        and anything else outside the run loop.  The ``_waiter`` process
+        resumes first — it is only ever installed when the callbacks list
+        is empty, so waiter-then-list is exactly attachment order.
+        """
+        waiter = self._waiter
+        self._waiter = _FIRED
+        if waiter is not None:
+            waiter._resume(self)
+        callbacks = self.callbacks
+        if callbacks:
+            # Detach while running so re-entrant attachment attempts fail
+            # loudly instead of mutating the list under iteration.
+            self.callbacks = None
+            for callback in callbacks:
+                callback(self)
+            callbacks.clear()
+            self.callbacks = callbacks
+
+    # Backwards-compatible alias (pre-batching name).
+    _run_callbacks = _fire
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} at {id(self):#x}>"
@@ -194,7 +256,6 @@ class Timeout(Event):
         self._state = _TRIGGERED
         heappush(env._queue, (env._now + delay, env._sequence, self))
         env._sequence += 1
-        env.events_scheduled += 1
 
     def cancel(self) -> bool:
         """Lazily cancel this timeout.
@@ -204,8 +265,12 @@ class Timeout(Event):
         Returns True if the timeout was still pending, False if it had
         already been processed (in which case this is a no-op).
         """
-        if self._state == _PROCESSED:
+        if self._waiter is _FIRED:
             return False
+        # A cancelled entry reads as not-ok so the dispatcher's existing
+        # success branch doubles as the cancellation check; the dropped
+        # entry never throws (the _cancelled flag is tested first).
+        self._ok = False
         self._cancelled = True
         return True
 
@@ -220,7 +285,7 @@ class Process(Event):
     raises, waiting processes observe the exception.
     """
 
-    __slots__ = ("_generator", "_target", "_resume_cb")
+    __slots__ = ("_generator", "_send", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -229,6 +294,8 @@ class Process(Event):
             )
         Event.__init__(self, env)
         self._generator = generator
+        # Bound-method cache: one attribute load per resume instead of two.
+        self._send = generator.send
         self._target: Optional[Event] = None
         # Bind the resume callback once; every wait reuses it instead of
         # materializing a fresh bound method per yield.
@@ -249,10 +316,10 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process.
 
         The process is rescheduled immediately; the event it was waiting
-        on is left un-consumed (its callbacks no longer include this
-        process).  An orphaned :class:`Timeout` — one no waiter remains
-        attached to — is lazily cancelled so the run loop can drop it at
-        pop time instead of firing it.
+        on is left un-consumed (it no longer resumes this process).  An
+        orphaned :class:`Timeout` — one no waiter remains attached to —
+        is lazily cancelled so the run loop can drop it at pop time
+        instead of firing it.
         """
         if self._state >= _TRIGGERED:
             raise SimulationError("cannot interrupt a terminated process")
@@ -266,13 +333,24 @@ class Process(Event):
         interrupt_event._state = _TRIGGERED
         # Detach from the old target so its firing does not resume us.
         target = self._target
-        callbacks = target.callbacks
-        if callbacks is not None and self._resume_cb in callbacks:
-            callbacks.remove(self._resume_cb)
-            if not callbacks and type(target) is Timeout:
+        if target._waiter is self:
+            target._waiter = None
+            if not target.callbacks and type(target) is Timeout:
+                target._ok = False
                 target._cancelled = True
+        else:
+            callbacks = target.callbacks
+            if callbacks is not None and self._resume_cb in callbacks:
+                callbacks.remove(self._resume_cb)
+                if (
+                    not callbacks
+                    and target._waiter is None
+                    and type(target) is Timeout
+                ):
+                    target._ok = False
+                    target._cancelled = True
         self._target = None
-        interrupt_event.callbacks = [self._resume_cb]
+        interrupt_event._waiter = self
         env._enqueue(interrupt_event)
 
     # -- internal --------------------------------------------------------
@@ -281,7 +359,7 @@ class Process(Event):
         env._active_process = self
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
                 event._defused = True
                 next_event = self._generator.throw(event._value)
@@ -298,30 +376,33 @@ class Process(Event):
         env._active_process = None
 
         try:
-            callbacks = next_event.callbacks
+            waiter_slot = next_event._waiter
         except AttributeError:
             raise SimulationError(
                 f"process yielded a non-event: {next_event!r}"
             ) from None
-        if callbacks is not None:
-            callbacks.append(self._resume_cb)
+        if waiter_slot is None and not next_event.callbacks:
+            next_event._waiter = self
             self._target = next_event
-        else:
-            # Already processed: resume immediately with its value, via a
-            # pooled relay event so ordering against the queue is kept.
-            resume = env.event()
-            ok = next_event._ok
-            resume._ok = ok
-            resume._value = next_event._value
-            if not ok:
-                next_event._defused = True
-                resume._defused = True
-            resume._state = _TRIGGERED
-            resume.callbacks.append(self._resume_cb)
-            heappush(env._queue, (env._now, env._sequence, resume))
-            env._sequence += 1
-            env.events_scheduled += 1
-            self._target = resume
+            return
+        if waiter_slot is not _FIRED:
+            next_event.callbacks.append(self._resume_cb)
+            self._target = next_event
+            return
+        # Already processed: resume immediately with its value, via a
+        # pooled relay event so ordering against the queue is kept.
+        resume = env.event()
+        ok = next_event._ok
+        resume._ok = ok
+        resume._value = next_event._value
+        if not ok:
+            next_event._defused = True
+            resume._defused = True
+        resume._state = _TRIGGERED
+        resume._waiter = self
+        heappush(env._queue, (env._now, env._sequence, resume))
+        env._sequence += 1
+        self._target = resume
 
 
 def _all_fired(events: list[Event], count: int) -> bool:
@@ -361,7 +442,7 @@ class Condition(Event):
             return
         check = self._check
         for event in events:
-            if event.callbacks is None:
+            if event._waiter is _FIRED:
                 # Fast path: the sub-event already fired; account for it
                 # now instead of queueing anything.
                 check(event)
@@ -372,7 +453,7 @@ class Condition(Event):
         return {
             event: event._value
             for event in self._events
-            if event._state == _PROCESSED and event._ok
+            if event._waiter is _FIRED and event._ok
         }
 
     def _check(self, event: Event) -> None:
@@ -434,37 +515,141 @@ class AnyOf(Condition):
             self.succeed(self._collect_values())
 
 
+def _make_event_factory(env: "Environment"):
+    """Build the bound ``env.event`` closure.
+
+    The factories are closures rather than methods so the hot-path
+    lookups (freelist, heap, heappush) are default-arg locals resolved
+    once at bind time instead of attribute loads on every call.
+    """
+
+    def event(_env=env, _pool=env._event_pool) -> Event:
+        """Create a new, untriggered event (recycled when possible)."""
+        if _pool:
+            ev = _pool.pop()
+            ev._state = _PENDING
+            return ev
+        return Event(_env)
+
+    return event
+
+
+def _make_timeout_factory(env: "Environment"):
+    """Build the bound ``env.timeout`` closure."""
+
+    def timeout(
+        delay: float,
+        value: Any = None,
+        _env=env,
+        _pool=env._timeout_pool,
+        _queue=env._queue,
+        _push=heappush,
+    ) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        if _pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            # Invariant: a pooled Timeout still holds _state == _TRIGGERED
+            # from its previous life (dispatch never downgrades it), so
+            # the factory does not re-store it.
+            timeout = _pool.pop()
+            timeout.delay = delay
+            if value is not None:
+                timeout._value = value
+            seq = _env._sequence
+            _push(_queue, (_env._now + delay, seq, timeout))
+            _env._sequence = seq + 1
+            return timeout
+        return Timeout(_env, delay, value)
+
+    return timeout
+
+
+def _make_process_factory(env: "Environment"):
+    """Build the bound ``env.process`` closure."""
+
+    def process(
+        generator: Generator,
+        _env=env,
+        _pool=env._process_pool,
+        _event_pool=env._event_pool,
+        _queue=env._queue,
+        _push=heappush,
+    ) -> Process:
+        """Start a new process from a generator."""
+        if _pool:
+            if not hasattr(generator, "throw"):
+                raise SimulationError(
+                    f"process() requires a generator, got {generator!r}"
+                )
+            process = _pool.pop()
+            process._state = _PENDING
+            process._generator = generator
+            process._send = generator.send
+            if _event_pool:
+                # Pooled events keep _state == _TRIGGERED and _ok == True
+                # from recycling; only fresh ones need the stores.
+                init = _event_pool.pop()
+            else:
+                init = Event(_env)
+                init._state = _TRIGGERED
+            init._waiter = process
+            seq = _env._sequence
+            _push(_queue, (_env._now, seq, init))
+            _env._sequence = seq + 1
+            return process
+        return Process(_env, generator)
+
+    return process
+
+
 class Environment:
     """The simulation environment: clock plus event queue."""
 
     __slots__ = (
         "_now",
         "_queue",
+        "_tick",
         "_sequence",
+        "_reseq",
         "_active_process",
         "steps_executed",
-        "events_scheduled",
         "events_cancelled",
         "events_recycled",
         "_event_pool",
         "_timeout_pool",
         "_process_pool",
+        # Bound factory closures (see _make_*_factory).
+        "event",
+        "timeout",
+        "process",
     )
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        # The live tick batch: all events firing at the current instant,
+        # in (time, seq) order.  Non-empty only inside run(); anything
+        # left over (early exit, surfaced failure) is flushed back to the
+        # heap so external observers never see a half-drained tick.
+        self._tick: deque[Event] = deque()
         self._sequence = 0
+        # Sequence numbers consumed by tick flush-backs (re-scheduling,
+        # not scheduling); discounts the events_scheduled telemetry.
+        self._reseq = 0
         self._active_process: Optional[Process] = None
         # Plain-int telemetry sampled by the observability layer.
         self.steps_executed = 0
-        self.events_scheduled = 0
         self.events_cancelled = 0
         self.events_recycled = 0
         # Freelists; see the module docstring for the recycling contract.
         self._event_pool: list[Event] = []
         self._timeout_pool: list[Timeout] = []
         self._process_pool: list[Process] = []
+        # Factories are per-instance closures over the pools and heap.
+        self.event = _make_event_factory(self)
+        self.timeout = _make_timeout_factory(self)
+        self.process = _make_process_factory(self)
 
     @property
     def now(self) -> float:
@@ -476,62 +661,22 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (telemetry).
+
+        Every schedule consumes one sequence number, so the count is
+        derived instead of maintained on the hot path; the only
+        non-scheduling consumers of the sequence counter are tick
+        flush-backs, discounted via ``_reseq``.
+        """
+        return self._sequence - self._reseq
+
     # -- factories ---------------------------------------------------------
-    def event(self) -> Event:
-        """Create a new, untriggered event (recycled when possible)."""
-        pool = self._event_pool
-        if pool:
-            event = pool.pop()
-            event.callbacks = []
-            event._value = None
-            event._ok = True
-            event._state = _PENDING
-            event._defused = False
-            event._cancelled = False
-            return event
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        pool = self._timeout_pool
-        if pool:
-            if delay < 0:
-                raise SimulationError(f"negative timeout delay: {delay}")
-            timeout = pool.pop()
-            timeout.callbacks = []
-            timeout._value = value
-            timeout._ok = True
-            timeout._state = _TRIGGERED
-            timeout._defused = False
-            timeout._cancelled = False
-            timeout.delay = delay
-            heappush(self._queue, (self._now + delay, self._sequence, timeout))
-            self._sequence += 1
-            self.events_scheduled += 1
-            return timeout
-        return Timeout(self, delay, value)
-
-    def process(self, generator: Generator) -> Process:
-        """Start a new process from a generator."""
-        pool = self._process_pool
-        if pool:
-            if not hasattr(generator, "throw"):
-                raise SimulationError(
-                    f"process() requires a generator, got {generator!r}"
-                )
-            process = pool.pop()
-            process.callbacks = []
-            process._value = None
-            process._ok = True
-            process._state = _PENDING
-            process._defused = False
-            process._cancelled = False
-            process._generator = generator
-            process._target = None
-            self._schedule_init(process)
-            return process
-        return Process(self, generator)
-
+    # event/timeout/process are instance closures bound in __init__; the
+    # pooled objects they hand out are reset at recycle time (callbacks
+    # == [], value/ok/defused/cancelled/waiter cleared), so the factories
+    # only set what differs per use.
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when every event in ``events`` has fired."""
         return AllOf(self, events)
@@ -544,25 +689,23 @@ class Environment:
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
         heappush(self._queue, (self._now + delay, self._sequence, event))
         self._sequence += 1
-        self.events_scheduled += 1
 
     def _schedule_init(self, process: Process) -> None:
         """Queue the pooled event that gives a new process its first turn."""
         init = self.event()
         init._ok = True
         init._state = _TRIGGERED
-        init.callbacks.append(process._resume_cb)
+        init._waiter = process
         heappush(self._queue, (self._now, self._sequence, init))
         self._sequence += 1
-        self.events_scheduled += 1
 
     def _recycle(self, event: Event) -> None:
         """Return ``event`` to its freelist if nothing else references it.
 
         The caller's local is expected to be the only remaining reference
         (``getrefcount == 2``: the local plus getrefcount's argument).
-        Failed events reach this only once defused; the value is cleared
-        so pooled objects never pin exceptions or payloads alive.
+        Failed events reach this only once defused; the reset clears the
+        value so pooled objects never pin exceptions or payloads alive.
         """
         cls = event.__class__
         if cls is Timeout:
@@ -574,9 +717,20 @@ class Environment:
         else:
             return
         if getrefcount(event) == 3 and len(pool) < _POOL_CAP:
+            cbs = event.callbacks
+            if cbs is None:
+                event.callbacks = []
+            elif cbs:
+                cbs.clear()
             event._value = None
+            event._ok = True
+            event._defused = False
+            event._cancelled = False
+            event._waiter = None
             if cls is Process:
                 event._generator = None
+                event._send = None
+                event._target = None
             pool.append(event)
             self.events_recycled += 1
 
@@ -590,13 +744,12 @@ class Environment:
             raise SimulationError("step() on an empty schedule")
         self._now, _, event = heappop(self._queue)
         if event._cancelled:
-            event.callbacks = None
-            event._state = _PROCESSED
+            event._waiter = _FIRED
             self.events_cancelled += 1
             self._recycle(event)
             return
         self.steps_executed += 1
-        event._run_callbacks()
+        event._fire()
         if not event._ok and not event._defused:
             raise event._value
         self._recycle(event)
@@ -619,61 +772,392 @@ class Environment:
                     f"until ({stop_time}) lies in the past (now={self._now})"
                 )
 
-        # The pop/dispatch/recycle loop is inlined: at hundreds of
-        # thousands of events per run the per-event method-call overhead
-        # of step()/peek() is measurable.
+        # The tick-drain/dispatch/recycle loop is fully inlined, twice: a
+        # tight variant for run() (no stop conditions — the kernel
+        # benchmark path) and a general variant for run(until=...).  At
+        # millions of events per run the per-event cost of method calls
+        # and dead stop checks is measurable; keep the two bodies in
+        # sync when touching either.
+        #
+        # Step accounting is derived, not maintained: every heap push
+        # consumes one sequence number, so pops over this run window are
+        #   len_before + pushes - len_after
+        # and fired steps are pops minus lazily-dropped cancellations.
         queue = self._queue
+        tick = self._tick
         event_pool = self._event_pool
         timeout_pool = self._timeout_pool
         process_pool = self._process_pool
-        steps = 0
+        pop = heappop
+        refs = getrefcount
         cancelled = 0
         recycled = 0
+        len_before = len(queue) + len(tick)
+        seq_before = self._sequence
         try:
-            while queue:
-                if stop_event is not None and stop_event._state == _PROCESSED:
-                    break
-                if queue[0][0] > stop_time:
-                    self._now = stop_time
-                    return None
-                self._now, _, event = heappop(queue)
-                if event._cancelled:
-                    # Lazy cancellation: dropped here instead of firing.
-                    event.callbacks = None
-                    event._state = _PROCESSED
-                    cancelled += 1
-                    if (
-                        event.__class__ is Timeout
-                        and getrefcount(event) == 2
-                        and len(timeout_pool) < _POOL_CAP
-                    ):
-                        event._value = None
-                        timeout_pool.append(event)
-                        recycled += 1
-                    continue
-                steps += 1
-                event._run_callbacks()
-                if not event._ok and not event._defused:
-                    raise event._value
-                cls = event.__class__
-                if cls is Timeout:
-                    if getrefcount(event) == 2 and len(timeout_pool) < _POOL_CAP:
-                        event._value = None
-                        timeout_pool.append(event)
-                        recycled += 1
-                elif cls is Event:
-                    if getrefcount(event) == 2 and len(event_pool) < _POOL_CAP:
-                        event._value = None
-                        event_pool.append(event)
-                        recycled += 1
-                elif cls is Process:
-                    if getrefcount(event) == 2 and len(process_pool) < _POOL_CAP:
-                        event._value = None
-                        event._generator = None
-                        process_pool.append(event)
-                        recycled += 1
+            if stop_event is None and stop_time == float("inf"):
+                # -- tight loop: drain everything ------------------------
+                # No tick batching here: bare run() is the kernel
+                # micro-benchmark path where timestamps are almost all
+                # distinct, and heap (time, seq) order alone already
+                # yields the deterministic firing order.  Same-instant
+                # batching lives in the general loop below, which is
+                # what serving/fleet/chaos drive via run(until=...).
+                while queue:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    # The processed marker (_waiter = _FIRED) is stored
+                    # lazily: before callbacks run, on lazy-cancel drops,
+                    # and on events that survive recycling.  An event
+                    # recycled in this same iteration is unobservable in
+                    # between, so the hot path skips the store entirely.
+                    waiter = event._waiter
+                    if waiter is not None:
+                        # Inline single-waiter resume (the hot path).
+                        if event._ok:
+                            self._active_process = waiter
+                            try:
+                                nxt = waiter._send(event._value)
+                            except StopIteration as stop:
+                                waiter._target = None
+                                waiter.succeed(stop.value)
+                                nxt = _DONE
+                            except BaseException as exc:
+                                waiter._target = None
+                                waiter.fail(exc)
+                                nxt = _DONE
+                        elif event._cancelled:
+                            # Lazy cancellation: dropped, never fired; a
+                            # parked waiter stays parked (its _target ref
+                            # also keeps the event off the freelist).
+                            event._waiter = _FIRED
+                            cancelled += 1
+                            continue
+                        else:
+                            self._active_process = waiter
+                            event._defused = True
+                            try:
+                                nxt = waiter._generator.throw(event._value)
+                            except StopIteration as stop:
+                                waiter._target = None
+                                waiter.succeed(stop.value)
+                                nxt = _DONE
+                            except BaseException as exc:
+                                waiter._target = None
+                                waiter.fail(exc)
+                                nxt = _DONE
+                        if nxt is not _DONE:
+                            try:
+                                wslot = nxt._waiter
+                            except AttributeError:
+                                raise SimulationError(
+                                    f"process yielded a non-event: {nxt!r}"
+                                ) from None
+                            if wslot is None:
+                                if not nxt.callbacks:
+                                    nxt._waiter = waiter
+                                else:
+                                    nxt.callbacks.append(waiter._resume_cb)
+                                waiter._target = nxt
+                            elif wslot is not _FIRED:
+                                nxt.callbacks.append(waiter._resume_cb)
+                                waiter._target = nxt
+                            else:
+                                # Already processed: relay at this instant.
+                                if event_pool:
+                                    relay = event_pool.pop()
+                                else:
+                                    relay = Event(self)
+                                ok = nxt._ok
+                                relay._ok = ok
+                                relay._value = nxt._value
+                                if not ok:
+                                    nxt._defused = True
+                                    relay._defused = True
+                                relay._state = _TRIGGERED
+                                relay._waiter = waiter
+                                heappush(
+                                    queue, (self._now, self._sequence, relay)
+                                )
+                                self._sequence += 1
+                                waiter._target = relay
+                        cbs = event.callbacks
+                        if cbs:
+                            event._waiter = _FIRED
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                        # A failed event resumed a waiter above, which
+                        # defused it; no unobserved-failure check needed.
+                    elif event._ok:
+                        event._waiter = _FIRED
+                        cbs = event.callbacks
+                        if cbs:
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                    elif event._cancelled:
+                        cancelled += 1
+                        if event.__class__ is Timeout and refs(event) == 2:
+                            cbs = event.callbacks
+                            if cbs:
+                                cbs.clear()
+                            event._value = None
+                            event._ok = True
+                            event._cancelled = False
+                            event._waiter = None
+                            timeout_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                        continue
+                    else:
+                        event._waiter = _FIRED
+                        cbs = event.callbacks
+                        if cbs:
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                        if not event._defused:
+                            raise event._value
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            timeout_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    elif cls is Event:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            event_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    elif cls is Process:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            event._generator = None
+                            event._send = None
+                            event._target = None
+                            process_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    else:
+                        event._waiter = _FIRED
+            else:
+                # -- general loop: stop on time or event -----------------
+                while True:
+                    if stop_event is not None and stop_event._waiter is _FIRED:
+                        break
+                    if tick:
+                        event = tick.popleft()
+                    elif queue:
+                        if queue[0][0] > stop_time:
+                            self._now = stop_time
+                            return None
+                        when, _, event = pop(queue)
+                        self._now = when
+                        if queue and queue[0][0] == when:
+                            append = tick.append
+                            while queue and queue[0][0] == when:
+                                append(pop(queue)[2])
+                    else:
+                        break
+                    waiter = event._waiter
+                    if waiter is not None:
+                        if event._ok:
+                            self._active_process = waiter
+                            try:
+                                nxt = waiter._send(event._value)
+                            except StopIteration as stop:
+                                waiter._target = None
+                                waiter.succeed(stop.value)
+                                nxt = _DONE
+                            except BaseException as exc:
+                                waiter._target = None
+                                waiter.fail(exc)
+                                nxt = _DONE
+                        elif event._cancelled:
+                            event._waiter = _FIRED
+                            cancelled += 1
+                            continue
+                        else:
+                            self._active_process = waiter
+                            event._defused = True
+                            try:
+                                nxt = waiter._generator.throw(event._value)
+                            except StopIteration as stop:
+                                waiter._target = None
+                                waiter.succeed(stop.value)
+                                nxt = _DONE
+                            except BaseException as exc:
+                                waiter._target = None
+                                waiter.fail(exc)
+                                nxt = _DONE
+                        if nxt is not _DONE:
+                            try:
+                                wslot = nxt._waiter
+                            except AttributeError:
+                                raise SimulationError(
+                                    f"process yielded a non-event: {nxt!r}"
+                                ) from None
+                            if wslot is None:
+                                if not nxt.callbacks:
+                                    nxt._waiter = waiter
+                                else:
+                                    nxt.callbacks.append(waiter._resume_cb)
+                                waiter._target = nxt
+                            elif wslot is not _FIRED:
+                                nxt.callbacks.append(waiter._resume_cb)
+                                waiter._target = nxt
+                            else:
+                                if event_pool:
+                                    relay = event_pool.pop()
+                                else:
+                                    relay = Event(self)
+                                ok = nxt._ok
+                                relay._ok = ok
+                                relay._value = nxt._value
+                                if not ok:
+                                    nxt._defused = True
+                                    relay._defused = True
+                                relay._state = _TRIGGERED
+                                relay._waiter = waiter
+                                heappush(
+                                    queue, (self._now, self._sequence, relay)
+                                )
+                                self._sequence += 1
+                                waiter._target = relay
+                        cbs = event.callbacks
+                        if cbs:
+                            event._waiter = _FIRED
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                    elif event._ok:
+                        event._waiter = _FIRED
+                        cbs = event.callbacks
+                        if cbs:
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                    elif event._cancelled:
+                        cancelled += 1
+                        if event.__class__ is Timeout and refs(event) == 2:
+                            cbs = event.callbacks
+                            if cbs:
+                                cbs.clear()
+                            event._value = None
+                            event._ok = True
+                            event._cancelled = False
+                            event._waiter = None
+                            timeout_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                        continue
+                    else:
+                        event._waiter = _FIRED
+                        cbs = event.callbacks
+                        if cbs:
+                            self._active_process = None
+                            event.callbacks = None
+                            for callback in cbs:
+                                callback(event)
+                            cbs.clear()
+                            event.callbacks = cbs
+                        if not event._defused:
+                            raise event._value
+                    cls = event.__class__
+                    if cls is Timeout:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            timeout_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    elif cls is Event:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            event_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    elif cls is Process:
+                        if refs(event) == 2:
+                            event._value = None
+                            event._waiter = None
+                            if not event._ok:
+                                event._ok = True
+                                event._defused = False
+                            event._generator = None
+                            event._send = None
+                            event._target = None
+                            process_pool.append(event)
+                            recycled += 1
+                        else:
+                            event._waiter = _FIRED
+                    else:
+                        event._waiter = _FIRED
         finally:
-            self.steps_executed += steps
+            self._active_process = None
+            # A half-drained tick (early break, surfaced failure) goes
+            # back to the heap in FIFO order; the heap holds nothing at
+            # the current instant with a smaller sequence, so fresh
+            # sequence numbers preserve the original firing order.
+            # Re-scheduling, not scheduling: _reseq discounts these from
+            # the events_scheduled telemetry.  Each flush-back adds one
+            # push and one queue entry, cancelling out of the derived
+            # pop count below.
+            while tick:
+                heappush(queue, (self._now, self._sequence, tick.popleft()))
+                self._sequence += 1
+                self._reseq += 1
+            # Pool caps are enforced once per run instead of per recycle
+            # in the hot loop; overflow falls back to the GC here.
+            del timeout_pool[_POOL_CAP:]
+            del event_pool[_POOL_CAP:]
+            del process_pool[_POOL_CAP:]
+            pops = len_before + (self._sequence - seq_before) - len(queue)
+            self.steps_executed += pops - cancelled
             self.events_cancelled += cancelled
             self.events_recycled += recycled
 
@@ -682,6 +1166,10 @@ class Environment:
                 raise SimulationError(
                     "run() ran out of events before `until` event fired"
                 )
+            if stop_event._cancelled:
+                # A cancelled stop event never fires; historically this
+                # drains to exhaustion and reports no value.
+                return None
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value

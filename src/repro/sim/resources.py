@@ -152,6 +152,14 @@ class Container:
         if amount < 0:
             raise SimulationError("cannot put a negative amount")
         event = self.env.event()
+        if not self._putters and self._level + amount <= self.capacity:
+            # Uncontended fast path; succeeds in the same order the settle
+            # loop would (put first, then any now-satisfiable getters).
+            self._level += amount
+            event.succeed()
+            if self._getters:
+                self._settle()
+            return event
         self._putters.append((amount, event))
         self._settle()
         return event
@@ -161,6 +169,10 @@ class Container:
         if amount < 0:
             raise SimulationError("cannot get a negative amount")
         event = self.env.event()
+        if not self._getters and not self._putters and amount <= self._level:
+            self._level -= amount
+            event.succeed(amount)
+            return event
         self._getters.append((amount, event))
         self._settle()
         return event
@@ -207,6 +219,14 @@ class Store:
     def put(self, item: Any) -> Event:
         """Append ``item``; blocks while the store is full."""
         event = self.env.event()
+        if not self._putters and len(self.items) < self.capacity:
+            # Uncontended fast path; same succeed order as the settle
+            # loop (the put first, then any now-satisfiable getter).
+            self.items.append(item)
+            event.succeed()
+            if self._getters:
+                self._settle()
+            return event
         self._putters.append((item, event))
         self._settle()
         return event
@@ -214,6 +234,11 @@ class Store:
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Remove and return the first (matching) item; blocks if none."""
         event = self.env.event()
+        if not self._getters and not self._putters:
+            index = self._find(predicate)
+            if index is not None:
+                event.succeed(self.items.pop(index))
+                return event
         self._getters.append((predicate, event))
         self._settle()
         return event

@@ -49,6 +49,12 @@ class RequestKv:
     cpu_blocks: list[KvBlock] = field(default_factory=list)
     last_transfer: Optional[CudaEvent] = None
 
+    def __post_init__(self) -> None:
+        # Shape and block size are fixed for the request's lifetime;
+        # grow() runs once per decode chunk per request, so the derived
+        # block geometry is computed once instead of per call.
+        self._block_bytes = self.shape.block_bytes(self.block_tokens)
+
     @property
     def block_count(self) -> int:
         """Paged blocks needed for ``tokens`` tokens."""
@@ -61,7 +67,7 @@ class RequestKv:
 
     @property
     def block_bytes(self) -> int:
-        return self.shape.block_bytes(self.block_tokens)
+        return self._block_bytes
 
     def ready_on_gpu(self) -> bool:
         """Rule ❶ check: resident and the last transfer has completed."""
@@ -73,12 +79,14 @@ class RequestKv:
         """Extend GPU-resident KV by ``new_tokens`` (decode appends)."""
         if self.location != "gpu":
             raise ValueError("can only grow KV resident on the GPU")
-        old_blocks = self.block_count
-        self.tokens += new_tokens
-        missing = self.block_count - old_blocks
+        tokens = self.tokens
+        block_tokens = self.block_tokens
+        old_blocks = -(-tokens // block_tokens)
+        self.tokens = tokens = tokens + new_tokens
+        missing = -(-tokens // block_tokens) - (old_blocks if old_blocks > 1 else 1)
         if missing > 0:
             self.gpu_blocks.extend(
-                gpu_cache.alloc(self.shape, self.block_bytes, missing)
+                gpu_cache.alloc(self.shape, self._block_bytes, missing)
             )
 
 

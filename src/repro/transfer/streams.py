@@ -152,7 +152,11 @@ class CudaStream:
             if kind == "copy":
                 _, link, nbytes, on_done = op
                 start = self.env.now
-                yield self.env.process(link.transfer(nbytes))
+                # Run the transfer inline (no child process): the worker is
+                # already a dedicated in-order lane, so delegating into the
+                # link's generator preserves FIFO semantics while skipping
+                # a process spawn + completion event per copy.
+                yield from link.transfer(nbytes)
                 if self._tracer.enabled:
                     self._tracer.complete(
                         "copy", cat="stream", track=self.name,

@@ -13,11 +13,12 @@ evaluation treats ShareGPT purely as an (input_len, output_len) sampler.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Iterator
 
 import numpy as np
+
+from .deprecations import warn_deprecated
 
 __all__ = ["LengthSample", "Dataset", "SHAREGPT", "sharegpt", "sharegpt_ix2", "sharegpt_ox2"]
 
@@ -80,11 +81,9 @@ class Dataset:
         Use :meth:`sample_arrays` for bulk draws or :meth:`stream` /
         :meth:`draw` for the streaming path.
         """
-        warnings.warn(
+        warn_deprecated(
             "Dataset.sample() is deprecated; use Dataset.sample_arrays() "
-            "for bulk draws or Dataset.stream()/draw() for streaming",
-            DeprecationWarning,
-            stacklevel=2,
+            "for bulk draws or Dataset.stream()/draw() for streaming"
         )
         inputs, outputs = self.sample_arrays(rng, count)
         return [LengthSample(int(i), int(o)) for i, o in zip(inputs, outputs)]

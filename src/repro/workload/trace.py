@@ -9,13 +9,13 @@ requests instead (see :mod:`repro.workload.stream`), and
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..models.catalog import ModelSpec
 from .arrivals import poisson_arrivals
+from .deprecations import warn_deprecated
 from .sharegpt import Dataset
 
 __all__ = ["TraceRequest", "Trace", "materialize_trace", "synthesize_trace"]
@@ -141,10 +141,8 @@ def synthesize_trace(
     :func:`materialize_trace` keeps the old byte-exact behaviour for
     callers that depend on it.
     """
-    warnings.warn(
+    warn_deprecated(
         "synthesize_trace() is deprecated; use stream_trace() (streaming) "
-        "or materialize_trace() (explicit full materialization)",
-        DeprecationWarning,
-        stacklevel=2,
+        "or materialize_trace() (explicit full materialization)"
     )
     return materialize_trace(models, rates, dataset, horizon, seed=seed)
