@@ -27,6 +27,7 @@ from repro.core import (
     RunSettings,
     ServerlessLLMConfig,
     SloSpec,
+    SystemSpec,
     build_system,
 )
 from repro.analysis import ServingResult
@@ -87,7 +88,7 @@ def aegaeon_factory(slo: SloSpec = DEFAULT_SLO, engine: EngineConfig = EngineCon
         config = AegaeonConfig(
             engine=engine, slo=slo, obs=bench_settings().obs
         )
-        return build_system("aegaeon", env, config)
+        return build_system(SystemSpec(system="aegaeon", config=config), env)
 
     return build
 
@@ -95,7 +96,7 @@ def aegaeon_factory(slo: SloSpec = DEFAULT_SLO, engine: EngineConfig = EngineCon
 def sllm_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
         config = ServerlessLLMConfig(slo=slo, obs=bench_settings().obs)
-        return build_system("serverless-llm", env, config)
+        return build_system(SystemSpec(system="serverless-llm", config=config), env)
 
     return build
 
@@ -103,7 +104,7 @@ def sllm_factory(slo: SloSpec = DEFAULT_SLO):
 def sllm_plus_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
         config = ServerlessLLMConfig(slo=slo, obs=bench_settings().obs)
-        return build_system("serverless-llm+", env, config)
+        return build_system(SystemSpec(system="serverless-llm+", config=config), env)
 
     return build
 
@@ -111,7 +112,7 @@ def sllm_plus_factory(slo: SloSpec = DEFAULT_SLO):
 def muxserve_factory(slo: SloSpec = DEFAULT_SLO):
     def build(env: Environment):
         config = MuxServeConfig(slo=slo, obs=bench_settings().obs)
-        return build_system("muxserve", env, config)
+        return build_system(SystemSpec(system="muxserve", config=config), env)
 
     return build
 

@@ -167,18 +167,68 @@ def fleet_replay(quick: bool = False) -> dict:
     }
 
 
+def fleet_controller_replay(quick: bool = False) -> dict:
+    """Fleet replay with the live controller armed (forecast policy).
+
+    Same shape as :func:`fleet_replay` but with the whole catalog pinned
+    to shard 0 and the controller loop running: per-model forecasts,
+    live migrations, spillover, scaling hints.  Measures the control
+    loop's overhead on the hot path and its decision throughput.
+    """
+    from repro.core import SystemSpec
+    from repro.fleet import ControllerConfig, FleetConfig, build_fleet
+    from repro.workload import market_stream
+
+    horizon = 120.0 if quick else 840.0
+    spec = SystemSpec(
+        config=AegaeonConfig(
+            prefill_instances=1, decode_instances=3, cluster="h800-quad"
+        ),
+        policies="aegaeon-slo-admission",
+    )
+    fleet = build_fleet(
+        FleetConfig(
+            shards=4,
+            spec=spec,
+            controller=ControllerConfig(policy="forecast"),
+        )
+    )
+    stream = market_stream(256, horizon, seed=2025, total_rate=12.0)
+    # Opposite of fleet_replay's pre-spread: concentrate everything on
+    # shard 0 so the controller has real rebalancing work every tick.
+    for model in stream.models:
+        fleet.partitioner.pin(model.name, 0)
+    env = fleet.env
+    start = time.perf_counter()
+    result = fleet.run(stream)
+    wall = time.perf_counter() - start
+    steps = env.steps_executed
+    return {
+        "ops_per_sec": steps / wall if wall > 0 else 0.0,
+        "wall_s": wall,
+        "sim_steps": steps,
+        "sim_end": env.now,
+        "requests": result.submitted,
+        "slo_attainment": round(result.slo_attainment, 6),
+        "migrations": result.controller["migrations"],
+        "spills": result.controller["spills"],
+        "events_recycled": env.events_recycled,
+    }
+
+
 SCENARIOS: dict[str, Callable[[bool], dict]] = {
     "kernel_event_throughput": kernel_event_throughput,
     "end_to_end_serving": end_to_end_serving,
     "switch_storm": switch_storm,
     "fleet_replay": fleet_replay,
+    "fleet_controller_replay": fleet_controller_replay,
 }
 
 #: Scenario groups the CLI can select; the default "kernel" suite keeps
 #: the original three (and the BENCH_kernel.json baseline) unchanged.
 SUITES: dict[str, tuple[str, ...]] = {
     "kernel": ("kernel_event_throughput", "end_to_end_serving", "switch_storm"),
-    "fleet": ("fleet_replay",),
+    "fleet": ("fleet_replay", "fleet_controller_replay"),
     "all": tuple(SCENARIOS),
 }
 

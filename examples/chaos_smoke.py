@@ -17,7 +17,7 @@ Exits non-zero on any violation; CI runs this as the chaos-smoke job.
 import sys
 
 from repro.chaos import FaultPlan
-from repro.core import AegaeonConfig, build_system
+from repro.core import AegaeonConfig, SystemSpec, build_system
 from repro.models import market_mix
 from repro.sim import Environment
 from repro.workload import sharegpt, materialize_trace
@@ -32,13 +32,14 @@ def run_once(fault_seed: int):
         fault_seed, horizon=40.0, count=4, instances=("decode1", "decode2")
     )
     system = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
-            prefill_instances=1, decode_instances=3, cluster="h800-quad"
+        SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=1, decode_instances=3, cluster="h800-quad"
+            ),
+            faults=plan,
+            invariants=True,
         ),
-        faults=plan,
-        invariants=True,
+        env,
     )
     trace = materialize_trace(
         market_mix(4), [0.15] * 4, sharegpt(), horizon=40.0, seed=7

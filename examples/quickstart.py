@@ -27,6 +27,7 @@ from repro.core import (
     MuxServeConfig,
     RunSettings,
     ServerlessLLMConfig,
+    SystemSpec,
     UnifiedConfig,
     build_system,
 )
@@ -72,10 +73,12 @@ def main() -> None:
     bundle = get_bundle(settings.policies or "aegaeon")
     env = Environment()
     server = build_system(
-        bundle.system,
+        SystemSpec(
+            system=bundle.system,
+            config=quad_config(bundle.system, ObsConfig.full()),
+            policies=bundle.name,
+        ),
         env,
-        quad_config(bundle.system, ObsConfig.full()),
-        policies=bundle.name,
     )
 
     # 2. A workload: twelve models, sporadic arrivals, ShareGPT lengths.

@@ -16,8 +16,9 @@ Typical use::
         TransferStall(at=4.0, duration=1.0),
         InstanceFailure(at=8.0, instance="decode1"),
     )
-    system = build_system("aegaeon", env, config, faults=plan,
-                          invariants=True)
+    system = build_system(
+        SystemSpec(config=config, faults=plan, invariants=True), env
+    )
 """
 
 from .injector import ArmedFetchFailures, FaultInjector

@@ -14,8 +14,7 @@ examples, and the observability layer attach to all of them uniformly.
 from __future__ import annotations
 
 import os
-import warnings
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Optional, Protocol, runtime_checkable
 
 from ..engine.engine import AegaeonEngine, ScaleRecord
@@ -144,6 +143,10 @@ class ServingSystemBase:
         #: Optional callback fired on every terminal disposition — the
         #: fleet rollup folds requests into mergeable stats through this.
         self.request_sink: Optional[Callable[[Request], None]] = None
+        #: The fleet controller's latest load hint for this shard
+        #: (forecast load / fleet mean; 1.0 == fair share).  See
+        #: :meth:`apply_scaling_hint`.
+        self.scaling_hint: float = 1.0
         self._disposed = 0
         scope = self.obs.scoped("serving")
         self._failed_counter = scope.counter("requests_failed")
@@ -188,6 +191,21 @@ class ServingSystemBase:
         estimators override this so SLO-aware admission can shed.
         """
         return 0.0
+
+    def apply_scaling_hint(self, hint: float) -> None:
+        """Record the fleet controller's load hint for this system.
+
+        The hint is stored on :attr:`scaling_hint` for any policy to
+        read, and forwarded to the bundle's scaling policy when it
+        implements the optional ``observe_fleet_hint(system, hint)``
+        hook.  Bundle policy objects are shared across shards, so
+        policies must key any state they keep off ``system``, not
+        ``self``.
+        """
+        self.scaling_hint = float(hint)
+        observe = getattr(self.policies.scaling, "observe_fleet_hint", None)
+        if observe is not None:
+            observe(self, hint)
 
     def dispatch(self, request: Request) -> None:
         """Route one arriving request (subclasses implement)."""
@@ -455,9 +473,10 @@ class SystemSpec:
     Consolidates what used to be loose :func:`build_system` keyword
     arguments — cluster preset, policy bundle, observability level, and
     chaos attachments — into one value that can be stored, compared,
-    and replicated across fleet shards.  ``build(env)`` is equivalent to
-    calling :func:`build_system` with the same knobs; the old keyword
-    form keeps working.
+    and replicated across fleet shards.  This is the canonical
+    constructor path: ``build_system(spec)`` (or ``spec.build(env)``)
+    replaces the old positional ``build_system(name, env, config, ...)``
+    form, which now warns once per call site.
     """
 
     system: str = "aegaeon"
@@ -465,8 +484,9 @@ class SystemSpec:
     config: Optional[object] = None
     #: Override the config's cluster preset (e.g. ``"h800-quad"``).
     cluster: Optional[str] = None
-    #: Policy bundle name; None keeps the config's / system's default.
-    policies: Optional[str] = None
+    #: Policy bundle (registry name or :class:`PolicyBundle` object);
+    #: None keeps the config's / system's default.
+    policies: Optional[PolicyBundle | str] = None
     #: Override the config's observability level.
     obs: Optional[ObsConfig] = None
     #: Optional :class:`~repro.chaos.FaultPlan` armed against the run.
@@ -485,29 +505,16 @@ class SystemSpec:
             overrides["policies"] = self.policies
         return replace(config, **overrides) if overrides else config
 
-    def build(self, env: Environment) -> "ServingSystem":
-        """Construct the system this spec describes."""
-        return build_system(
+    def build(self, env: Optional[Environment] = None) -> "ServingSystem":
+        """Construct the system this spec describes (fresh clock if
+        ``env`` is omitted)."""
+        return _build_system(
             self.system,
-            env,
+            env if env is not None else Environment(),
             self.resolve_config(),
             faults=self.faults,
             invariants=self.invariants,
         )
-
-
-#: Exact REPRO_* environment keys the harness understands (the tunables
-#: add a ``REPRO_TUNE_<FIELD>`` family on top, validated per field).
-_KNOWN_ENV_KEYS = frozenset(
-    {
-        "REPRO_BENCH_HORIZON",
-        "REPRO_BENCH_SCALE",
-        "REPRO_BENCH_SEED",
-        "REPRO_OBS",
-        "REPRO_POLICIES",
-        "REPRO_INVARIANTS",
-    }
-)
 
 
 @dataclass(frozen=True)
@@ -534,24 +541,16 @@ class RunSettings:
         """Resolve settings from ``REPRO_BENCH_{HORIZON,SCALE,SEED}``,
         ``REPRO_OBS``, ``REPRO_POLICIES``, and ``REPRO_TUNE_*``.
 
-        Any other ``REPRO_*`` key draws a :class:`RuntimeWarning` — a
+        The full ``REPRO_*`` surface lives in :mod:`repro.envkeys` (one
+        registry shared with ``FleetConfig.from_env``, which consumes
+        the ``REPRO_FLEET_*`` family); any unrecognized ``REPRO_*`` key
+        draws a :class:`RuntimeWarning` naming the nearest valid key — a
         typo'd knob silently doing nothing is worse than noise.
         """
+        from ..envkeys import warn_unknown_env_keys
+
         environ = os.environ if environ is None else environ
-        known_tune = {
-            f"REPRO_TUNE_{spec.name.upper()}" for spec in fields(Tunables)
-        }
-        for key in environ:
-            if not key.startswith("REPRO_"):
-                continue
-            if key in _KNOWN_ENV_KEYS or key in known_tune:
-                continue
-            warnings.warn(
-                f"unrecognized environment variable {key!r}; known REPRO_* "
-                f"keys: {sorted(_KNOWN_ENV_KEYS)} plus REPRO_TUNE_<FIELD>",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        warn_unknown_env_keys(environ)
         defaults = cls()
         policies = environ.get("REPRO_POLICIES", "").strip() or None
         return cls(
@@ -650,7 +649,7 @@ def available_systems() -> list[str]:
     return sorted(_BUILDERS)
 
 
-def build_system(
+def _build_system(
     name: str,
     env: Environment,
     config=None,
@@ -659,24 +658,9 @@ def build_system(
     faults=None,
     invariants: bool = False,
 ) -> "ServingSystem":
-    """Construct any registered serving system by name.
-
-    ``config`` is the system's config dataclass (``AegaeonConfig``,
-    :class:`ServerlessLLMConfig`, :class:`MuxServeConfig`,
-    :class:`UnifiedConfig`) or ``None`` for that system's defaults; the
-    cluster is built from the config's ``cluster`` preset and the
-    observability layer from its ``obs`` level.
-
-    ``policies`` selects the :class:`~repro.policy.PolicyBundle` steering
-    the system — a registry name (``"aegaeon-slo-admission"``), a bundle
-    object, or ``None`` for the config's ``policies`` field / the
-    system's default bundle.
-
-    ``faults`` arms a :class:`~repro.chaos.FaultPlan` against the run;
-    ``invariants=True`` attaches a runtime
-    :class:`~repro.chaos.InvariantChecker` (``serve`` then raises on any
-    recorded violation).
-    """
+    """The factory proper (no deprecation machinery): name + config in,
+    system out.  :meth:`SystemSpec.build` and the legacy keyword shim
+    both land here."""
     key = name.strip().lower()
     key = _ALIASES.get(key, key)
     try:
@@ -693,3 +677,55 @@ def build_system(
     if invariants:
         system.attach_invariants()
     return system
+
+
+def build_system(
+    spec: "SystemSpec | str",
+    env: Optional[Environment] = None,
+    config=None,
+    *,
+    policies: Optional[PolicyBundle | str] = None,
+    faults=None,
+    invariants: bool = False,
+) -> "ServingSystem":
+    """Construct a serving system from a :class:`SystemSpec`.
+
+    ``build_system(spec)`` (optionally with an ``env`` to share a clock)
+    and ``build_fleet(FleetConfig(...))`` are the two blessed
+    constructor paths — a spec is one storable, comparable value naming
+    the system, config, cluster, policy bundle, observability level,
+    and chaos attachments.
+
+    The loose keyword form ``build_system("aegaeon", env, config,
+    policies=..., faults=..., invariants=...)`` still works but is
+    deprecated: it warns once per call site and will be removed a
+    release after the in-repo callers are gone.  Migrate with::
+
+        build_system(SystemSpec(system="aegaeon", config=config,
+                                policies=..., faults=..., invariants=...),
+                     env)
+    """
+    if isinstance(spec, SystemSpec):
+        if config is not None or policies is not None or faults is not None or invariants:
+            raise TypeError(
+                "build_system(spec) takes no loose keywords; put config/"
+                "policies/faults/invariants on the SystemSpec itself"
+            )
+        return spec.build(env)
+    from .._compat import warn_deprecated
+
+    warn_deprecated(
+        "build_system(name, env, config, ...) is deprecated; pass a "
+        "SystemSpec — build_system(SystemSpec(system=name, config=config, "
+        "...), env)"
+    )
+    if env is None:
+        raise TypeError("the legacy build_system(name, ...) form requires env")
+    return _build_system(
+        spec,
+        env,
+        config,
+        policies=policies,
+        faults=faults,
+        invariants=invariants,
+    )

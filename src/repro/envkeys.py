@@ -1,0 +1,107 @@
+"""The unified ``REPRO_*`` environment-variable surface.
+
+Every knob the harness reads from the environment is declared here —
+one registry consulted by :meth:`repro.core.RunSettings.from_env` and
+:meth:`repro.fleet.FleetConfig.from_env` — so an unrecognized
+``REPRO_*`` key can be flagged with the *nearest* valid key (a typo'd
+knob silently doing nothing is worse than noise), and the README's key
+table is generated rather than hand-maintained::
+
+    PYTHONPATH=src python -m repro.envkeys   # prints the markdown table
+
+The ``REPRO_TUNE_<FIELD>`` family is derived from the fields of
+:class:`repro.policy.tunables.Tunables`, so new tunables are covered
+automatically.
+"""
+
+from __future__ import annotations
+
+import difflib
+import warnings
+from dataclasses import fields
+from typing import Mapping, Optional
+
+from .policy.tunables import Tunables
+
+__all__ = [
+    "ENV_KEYS",
+    "known_env_keys",
+    "suggest_env_key",
+    "warn_unknown_env_keys",
+    "format_env_table",
+]
+
+#: Every exact REPRO_* key the harness understands, with the one-line
+#: description the generated README table carries.
+ENV_KEYS: dict[str, str] = {
+    "REPRO_BENCH_HORIZON": "Simulated seconds of trace per bench run (default 150).",
+    "REPRO_BENCH_SCALE": "Multiplier on benchmark parameter grids (default 1.0).",
+    "REPRO_BENCH_SEED": "Workload seed for benches and smoke runs (default 2025).",
+    "REPRO_OBS": "Observability level: `off`, `metrics`, or `full`.",
+    "REPRO_POLICIES": "Policy bundle name steering builds (e.g. `aegaeon-slo-admission`).",
+    "REPRO_INVARIANTS": "Set to `1` to arm the runtime InvariantChecker in every build.",
+    "REPRO_FLEET_SHARDS": "Shard count for `FleetConfig.from_env` (default 4).",
+    "REPRO_FLEET_VIRTUAL_NODES": "Consistent-hash vnodes per shard (default 64).",
+    "REPRO_FLEET_CONTROLLER": "Fleet control policy: `static`, `forecast`, or empty/`off`.",
+    "REPRO_FLEET_TICK": "Fleet controller tick interval in simulated seconds (default 5).",
+    "REPRO_FLEET_SPILL_HOPS": "Max cross-shard spillover hops per rejected request (default 2).",
+}
+
+_TUNE_DESCRIPTION = (
+    "Override one `Tunables` field (e.g. `REPRO_TUNE_QMAX=2.0`); "
+    "one key per field of `repro.policy.Tunables`."
+)
+
+
+def known_env_keys() -> dict[str, str]:
+    """All recognized keys: the exact registry plus ``REPRO_TUNE_*``."""
+    keys = dict(ENV_KEYS)
+    for spec in fields(Tunables):
+        keys[f"REPRO_TUNE_{spec.name.upper()}"] = _TUNE_DESCRIPTION
+    return keys
+
+
+def suggest_env_key(key: str) -> Optional[str]:
+    """The nearest recognized key to a mistyped one, if any is close."""
+    matches = difflib.get_close_matches(key, sorted(known_env_keys()), n=1)
+    return matches[0] if matches else None
+
+
+def warn_unknown_env_keys(
+    environ: Mapping[str, str], *, stacklevel: int = 3
+) -> None:
+    """Flag every unrecognized ``REPRO_*`` key in ``environ``.
+
+    Each warning names the nearest valid key when one is plausible, and
+    points at this module's table for the full surface.
+    """
+    known = known_env_keys()
+    for key in environ:
+        if not key.startswith("REPRO_") or key in known:
+            continue
+        suggestion = suggest_env_key(key)
+        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+        warnings.warn(
+            f"unrecognized environment variable {key!r}{hint} "
+            f"(run `python -m repro.envkeys` for the full REPRO_* table)",
+            RuntimeWarning,
+            stacklevel=stacklevel,
+        )
+
+
+def format_env_table() -> str:
+    """The README's markdown table of every ``REPRO_*`` key."""
+    rows = dict(ENV_KEYS)
+    rows["REPRO_TUNE_<FIELD>"] = _TUNE_DESCRIPTION
+    width = max(len(key) for key in rows)
+    lines = [
+        f"| {'Variable'.ljust(width)} | Meaning |",
+        f"| {'-' * width} | ------- |",
+    ]
+    for key, description in rows.items():
+        lines.append(f"| `{key}`".ljust(width + 4) + f" | {description} |")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(format_env_table())

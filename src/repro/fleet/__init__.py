@@ -5,21 +5,39 @@ catalog is consistent-hashed across K shards (each a complete serving
 system built from a :class:`~repro.core.serving.SystemSpec`), one pump
 process routes a streaming workload by model ownership, and per-shard
 streaming stats roll up into fleet-wide latency percentiles, SLO
-attainment, and $/token.  See ``DESIGN.md`` ("Fleet architecture").
+attainment, and $/token.  An optional :class:`FleetController` closes
+the loop live: per-model arrival forecasts drive mid-run catalog
+migrations, cross-shard spillover of rejected requests, and per-shard
+scaling hints.  See ``DESIGN.md`` ("Fleet architecture" and "The fleet
+controller").
 """
 
+from .controller import (
+    ControllerConfig,
+    FleetController,
+    FleetView,
+    ModelForecast,
+    ShardTelemetry,
+    SpillLedger,
+)
 from .partition import CatalogPartitioner
 from .rollup import FleetRollup, LatencyHistogram, ShardStats
 from .runner import FleetConfig, FleetResult, FleetRunner, FleetShard, build_fleet
 
 __all__ = [
     "CatalogPartitioner",
+    "ControllerConfig",
     "FleetConfig",
+    "FleetController",
     "FleetResult",
     "FleetRollup",
     "FleetRunner",
     "FleetShard",
+    "FleetView",
     "LatencyHistogram",
+    "ModelForecast",
     "ShardStats",
+    "ShardTelemetry",
+    "SpillLedger",
     "build_fleet",
 ]

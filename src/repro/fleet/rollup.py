@@ -118,6 +118,14 @@ class ShardStats:
     finished: int = 0
     failed: int = 0
     rejected: int = 0
+    #: Requests this shard turned away at admission that the fleet
+    #: controller re-submitted to another shard (their terminal
+    #: disposition is recorded wherever they finally land).
+    spilled: int = 0
+    #: Catalog migrations executed by the fleet controller: models this
+    #: shard shed (out) / absorbed (in) mid-run.
+    migrations_out: int = 0
+    migrations_in: int = 0
     no_first_token: int = 0
     tokens_generated: int = 0
     tokens_expected: int = 0
@@ -152,6 +160,18 @@ class ShardStats:
         else:
             self.no_first_token += 1
 
+    def fold_spilled(self, request: Request) -> None:
+        """Absorb a rejection this shard handed to another shard.
+
+        A spill is this shard's final word on the request — it counts
+        toward ``requests`` so per-shard submissions reconcile
+        (``finished + failed + rejected + spilled == submitted``) — but
+        its tokens are *not* charged here: the shard that ultimately
+        serves (or rejects) the re-submission accounts for them.
+        """
+        self.requests += 1
+        self.spilled += 1
+
     @property
     def slo_attainment(self) -> float:
         """Fraction of *expected* tokens meeting their deadline (§2.1)."""
@@ -164,6 +184,9 @@ class ShardStats:
         self.finished += other.finished
         self.failed += other.failed
         self.rejected += other.rejected
+        self.spilled += other.spilled
+        self.migrations_out += other.migrations_out
+        self.migrations_in += other.migrations_in
         self.no_first_token += other.no_first_token
         self.tokens_generated += other.tokens_generated
         self.tokens_expected += other.tokens_expected
@@ -179,6 +202,9 @@ class ShardStats:
             "finished": self.finished,
             "failed": self.failed,
             "rejected": self.rejected,
+            "spilled": self.spilled,
+            "migrations_out": self.migrations_out,
+            "migrations_in": self.migrations_in,
             "no_first_token": self.no_first_token,
             "tokens_generated": self.tokens_generated,
             "tokens_expected": self.tokens_expected,
@@ -227,6 +253,8 @@ class FleetRollup:
             "finished": total.finished,
             "failed": total.failed,
             "rejected": total.rejected,
+            "spilled": total.spilled,
+            "migrations": total.migrations_out,
             "slo_attainment": total.slo_attainment,
             "tokens_generated": total.tokens_generated,
             "ttft_p50": total.ttft.quantile(0.50),

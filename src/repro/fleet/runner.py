@@ -20,13 +20,16 @@ each shard's own metric snapshot.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..core.serving import SystemSpec
+from ..envkeys import warn_unknown_env_keys
 from ..obs import ObsConfig, Observability
 from ..policy.placement import MARKET_HOURLY_USD
 from ..sim import Environment
+from .controller import ControllerConfig, FleetController
 from .partition import CatalogPartitioner
 from .rollup import FleetRollup, ShardStats
 
@@ -57,10 +60,49 @@ class FleetConfig:
     #: and the rollup export is the control plane's main product.
     obs: ObsConfig = field(default_factory=ObsConfig.metrics_only)
     drain_grace: float = 300.0
+    #: None (default) runs the PR-6 static fleet; a
+    #: :class:`~repro.fleet.controller.ControllerConfig` arms the live
+    #: control loop (rebalance / spillover / scaling hints).
+    controller: Optional[ControllerConfig] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+
+    @classmethod
+    def from_env(
+        cls,
+        environ: Optional[Mapping[str, str]] = None,
+        **overrides,
+    ) -> "FleetConfig":
+        """A config shaped by ``REPRO_FLEET_*`` (see ``repro.envkeys``).
+
+        Recognized keys: ``REPRO_FLEET_SHARDS``,
+        ``REPRO_FLEET_VIRTUAL_NODES``, ``REPRO_FLEET_CONTROLLER``
+        (``static``/``forecast``/``off``), ``REPRO_FLEET_TICK``,
+        ``REPRO_FLEET_SPILL_HOPS``.  Explicit ``overrides`` win over the
+        environment; unrecognized ``REPRO_*`` keys warn with the nearest
+        valid key.
+        """
+        environ = os.environ if environ is None else environ
+        warn_unknown_env_keys(environ)
+        kwargs: dict[str, object] = {}
+        if "REPRO_FLEET_SHARDS" in environ:
+            kwargs["shards"] = int(environ["REPRO_FLEET_SHARDS"])
+        if "REPRO_FLEET_VIRTUAL_NODES" in environ:
+            kwargs["virtual_nodes"] = int(environ["REPRO_FLEET_VIRTUAL_NODES"])
+        policy = environ.get("REPRO_FLEET_CONTROLLER", "").strip().lower()
+        if policy and policy != "off":
+            controller_kwargs: dict[str, object] = {"policy": policy}
+            if "REPRO_FLEET_TICK" in environ:
+                controller_kwargs["tick"] = float(environ["REPRO_FLEET_TICK"])
+            if "REPRO_FLEET_SPILL_HOPS" in environ:
+                controller_kwargs["max_spill_hops"] = int(
+                    environ["REPRO_FLEET_SPILL_HOPS"]
+                )
+            kwargs["controller"] = ControllerConfig(**controller_kwargs)
+        kwargs.update(overrides)
+        return cls(**kwargs)
 
 
 @dataclass
@@ -92,6 +134,8 @@ class FleetResult:
     metrics: dict = field(default_factory=dict)
     #: Per-shard repro.obs metric snapshots, index-aligned with shards.
     shard_metrics: list = field(default_factory=list)
+    #: ``FleetController.summary()`` when the run had a controller.
+    controller: Optional[dict] = None
 
     @property
     def slo_attainment(self) -> float:
@@ -112,6 +156,8 @@ class FleetResult:
             cost_usd=self.cost_usd,
             cost_per_token=self.cost_per_token,
         )
+        if self.controller is not None:
+            out["controller"] = dict(self.controller)
         return out
 
 
@@ -154,6 +200,18 @@ class FleetRunner:
                 self.obs.metrics.gauge("in_flight", scope=shard.name).set_fn(
                     lambda registry=registry: registry.in_flight
                 )
+        self.controller: Optional[FleetController] = None
+        if config.controller is not None:
+            self.controller = FleetController(self, config.controller)
+            for shard in self.shards:
+                # Re-route each shard's disposition sink through the
+                # controller so admission rejections can spill before
+                # they are folded as terminal.  Nothing has been
+                # submitted yet, so the swap is safe.
+                shard.system.configure_streaming(
+                    retain_requests=config.retain_requests,
+                    request_sink=self.controller.make_sink(shard),
+                )
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.gauge("shards", scope="fleet").set(config.shards)
@@ -190,6 +248,7 @@ class FleetRunner:
         shard_of = self.partitioner.shard_of
         shards = self.shards
         spec_of = stream.spec_of
+        controller = self.controller
         for trace_request in stream:
             delay = trace_request.arrival - env.now
             if delay > 0:
@@ -197,6 +256,8 @@ class FleetRunner:
             shard = shards[shard_of(trace_request.model)]
             shard.system.submit(trace_request, spec_of(trace_request.model))
             self.submitted += 1
+            if controller is not None:
+                controller.note_arrival(trace_request.model)
         self._all_submitted = True
 
     def run(self, stream, until: Optional[float] = None) -> FleetResult:
@@ -207,13 +268,23 @@ class FleetRunner:
             shard.system.prepare(
                 _ShardCatalog(models=shard.models, horizon=stream.horizon)
             )
+        if self.controller is not None:
+            self.controller.bind_stream(stream)
+            self.controller.start()
         self.env.process(self._pump(stream))
         deadline = (
             until if until is not None else stream.horizon + self.config.drain_grace
         )
 
+        def pending() -> int:
+            # Every spill adds one extra terminal disposition beyond the
+            # pump's count: the spilling shard folds it as ``spilled``
+            # and the target shard disposes the re-submission.
+            spills = self.controller.spills if self.controller is not None else 0
+            return self.submitted + spills
+
         def watchdog():
-            while not (self._all_submitted and self._disposed() >= self.submitted):
+            while not (self._all_submitted and self._disposed() >= pending()):
                 if self.env.now >= deadline:
                     return
                 yield self.env.timeout(1.0)
@@ -255,6 +326,9 @@ class FleetRunner:
             shard_metrics=[
                 shard.system.obs.metrics.snapshot() for shard in self.shards
             ],
+            controller=(
+                self.controller.summary() if self.controller is not None else None
+            ),
         )
 
 

@@ -15,10 +15,18 @@ from .base import (
     AdmissionPolicy,
     DecodeTurnPolicy,
     DispatchPolicy,
+    FleetControlPolicy,
     PlacementPolicy,
     PolicyBundle,
     ScalingPolicy,
     policy_event,
+)
+from .fleet_control import (
+    ForecastFleetControl,
+    StaticFleetControl,
+    available_fleet_policies,
+    get_fleet_policy,
+    register_fleet_policy,
 )
 from .decode_turn import (
     WeightedRoundPolicy,
@@ -59,6 +67,8 @@ __all__ = [
     "DEFAULT_TUNABLES",
     "DecodeTurnPolicy",
     "DispatchPolicy",
+    "FleetControlPolicy",
+    "ForecastFleetControl",
     "GroupedPrefillDispatch",
     "MARKET_HOURLY_USD",
     "MIN_KV_BYTES",
@@ -69,15 +79,19 @@ __all__ = [
     "RequestLevelScaling",
     "ScalingPolicy",
     "SloAwareAdmission",
+    "StaticFleetControl",
     "TokenLevelScaling",
     "Tunables",
     "WeightedRoundPolicy",
     "available_bundles",
+    "available_fleet_policies",
     "compute_quotas",
     "estimate_round_attainment",
     "get_bundle",
+    "get_fleet_policy",
     "policy_event",
     "register_bundle",
+    "register_fleet_policy",
     "reorder_work_list",
     "resolve_bundle",
 ]

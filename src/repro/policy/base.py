@@ -37,6 +37,7 @@ __all__ = [
     "AdmissionPolicy",
     "DispatchPolicy",
     "DecodeTurnPolicy",
+    "FleetControlPolicy",
     "ScalingPolicy",
     "PlacementPolicy",
     "PolicyBundle",
@@ -137,6 +138,39 @@ class PlacementPolicy(Protocol):
         self, gpus: Sequence, tp: int, prefill_instances: int, decode_instances: int
     ) -> tuple[list[list], list[list]]:
         """Split a GPU list into prefill / decode TP groups."""
+
+
+@runtime_checkable
+class FleetControlPolicy(Protocol):
+    """The fleet controller's decision surface (one level above shards).
+
+    Consulted by :class:`repro.fleet.controller.FleetController` on
+    every control tick (and on every admission rejection, for
+    spillover) with a :class:`~repro.fleet.controller.FleetView` — the
+    tick's per-shard telemetry plus the per-model EWMA/slope arrival
+    forecasts.  Implementations live in
+    :mod:`repro.policy.fleet_control` and are registered by name
+    (``"static"``, ``"forecast"``) the same way serving bundles are.
+    """
+
+    def plan_migrations(self, view: Any) -> list[tuple[str, int, int]]:
+        """Catalog moves to execute this tick: ``(model, src, dst)``.
+
+        The controller re-pins each model on the partitioner (future
+        arrivals route to ``dst``; in-flight requests drain on ``src``).
+        """
+
+    def spill_target(self, view: Any, shard: int, request: Any) -> Optional[int]:
+        """The shard a rejected ``request`` should retry on, or ``None``
+        to let the rejection stand.  Called only while the request has
+        spill hops left; returning ``shard`` itself is treated as
+        ``None``."""
+
+    def scaling_hint(self, view: Any, shard: int) -> Optional[float]:
+        """A per-shard load hint (forecast load / fleet mean) fed into
+        the shard's :class:`ScalingPolicy` seam via
+        ``system.apply_scaling_hint``; ``None`` leaves the shard's hint
+        untouched."""
 
 
 @dataclass(frozen=True)

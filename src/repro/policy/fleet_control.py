@@ -1,0 +1,149 @@
+"""Fleet-control policies: what the controller loop decides each tick.
+
+Two registered policies bracket the design space the way the serving
+bundles do:
+
+* :class:`StaticFleetControl` (``"static"``) — the no-op foil: never
+  migrates, never spills, never hints.  A controller running this
+  policy observes telemetry (and emits ``fleet.controller.tick``
+  events) but leaves the data path byte-identical to a controller-less
+  run — the baseline every forecast-driven improvement is measured
+  against.
+* :class:`ForecastFleetControl` (``"forecast"``) — the DeepServe-style
+  active loop: feeds the per-model EWMA/slope arrival forecasts into
+  the partitioner's load-aware ``rebalance()`` to migrate hot models
+  off overloaded shards live, redirects admission-rejected requests to
+  the currently least-pressured shard (bounded hops enforced by the
+  controller), and publishes each shard's forecast-load share as its
+  scaling hint.
+
+Both are plain objects satisfying the duck-typed
+:class:`~repro.policy.base.FleetControlPolicy` protocol; register your
+own with :func:`register_fleet_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "StaticFleetControl",
+    "ForecastFleetControl",
+    "register_fleet_policy",
+    "get_fleet_policy",
+    "available_fleet_policies",
+]
+
+
+class StaticFleetControl:
+    """Observe-only control: no migrations, no spillover, no hints."""
+
+    name = "static"
+
+    def plan_migrations(self, view: Any) -> list[tuple[str, int, int]]:
+        return []
+
+    def spill_target(self, view: Any, shard: int, request: Any) -> Optional[int]:
+        return None
+
+    def scaling_hint(self, view: Any, shard: int) -> Optional[float]:
+        return None
+
+
+class ForecastFleetControl:
+    """Forecast-driven control: live rebalance + spillover + hints.
+
+    ``tolerance`` and ``max_moves_per_tick`` bound migration churn the
+    same way the pre-replay ``rebalance()`` hook does; ``min_rate``
+    drops models whose forecast is effectively zero from the load map so
+    a long tail of idle models cannot mask a hot head.
+    """
+
+    name = "forecast"
+
+    def __init__(
+        self,
+        *,
+        tolerance: float = 0.10,
+        max_moves_per_tick: int = 2,
+        min_rate: float = 1e-6,
+    ):
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        if max_moves_per_tick < 0:
+            raise ValueError("max_moves_per_tick must be non-negative")
+        self.tolerance = tolerance
+        self.max_moves_per_tick = max_moves_per_tick
+        self.min_rate = min_rate
+
+    def plan_migrations(self, view: Any) -> list[tuple[str, int, int]]:
+        loads = {
+            name: forecast.predicted
+            for name, forecast in view.forecasts.items()
+            if forecast.predicted > self.min_rate
+        }
+        if not loads or not self.max_moves_per_tick:
+            return []
+        # The partitioner's rebalance both *plans* and *pins*: returned
+        # moves are already in effect for future pump routing, which is
+        # exactly the live-migration semantics (in-flight work drains on
+        # the old shard untouched).
+        return view.partitioner.rebalance(
+            loads, tolerance=self.tolerance, max_moves=self.max_moves_per_tick
+        )
+
+    def spill_target(self, view: Any, shard: int, request: Any) -> Optional[int]:
+        here = view.pressure_of(shard)
+        best: Optional[int] = None
+        best_pressure = here
+        for telemetry in view.shards:
+            if telemetry.index == shard:
+                continue
+            pressure = view.pressure_of(telemetry.index)
+            # Strictly-better targets only (ties break on shard index by
+            # iteration order): spilling to an equally loaded shard just
+            # moves the rejection somewhere else.
+            if pressure < best_pressure:
+                best = telemetry.index
+                best_pressure = pressure
+        return best
+
+    def scaling_hint(self, view: Any, shard: int) -> Optional[float]:
+        loads = view.forecast_shard_loads()
+        mean = sum(loads) / len(loads) if loads else 0.0
+        if mean <= 0.0:
+            return None
+        return loads[shard] / mean
+
+
+_FLEET_POLICIES: dict[str, Callable[[], Any]] = {}
+
+
+def register_fleet_policy(name: str, factory: Callable[[], Any]) -> None:
+    """Register a :class:`FleetControlPolicy` factory under ``name``."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("fleet policy name must be non-empty")
+    _FLEET_POLICIES[key] = factory
+
+
+def get_fleet_policy(name: str) -> Any:
+    """Construct the fleet-control policy registered under ``name``."""
+    key = name.strip().lower()
+    try:
+        factory = _FLEET_POLICIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown fleet control policy {name!r}; "
+            f"known: {available_fleet_policies()}"
+        ) from None
+    return factory()
+
+
+def available_fleet_policies() -> list[str]:
+    """Names accepted by :func:`get_fleet_policy`."""
+    return sorted(_FLEET_POLICIES)
+
+
+register_fleet_policy("static", StaticFleetControl)
+register_fleet_policy("forecast", ForecastFleetControl)

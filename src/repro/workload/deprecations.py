@@ -1,34 +1,9 @@
-"""Warn-once-per-call-site support for the workload deprecation shims.
-
-The shims (`synthesize_trace`, `Dataset.sample`) sit under loops in
-downstream scripts; a naive ``warnings.warn`` in a loop spams one line
-per iteration whenever the ambient filter is ``always`` (pytest, many
-notebook setups).  :func:`warn_deprecated` deduplicates on the *caller's*
-``(filename, lineno)`` itself, so each call site warns exactly once per
-process regardless of filter configuration, and the warning is
-attributed to the caller (``stacklevel``), not the shim body.
-"""
+"""Compatibility re-export: the deprecation helpers moved to
+:mod:`repro._compat` when the loose ``build_system`` keyword form joined
+the workload shims on the deprecation path.  Import from there."""
 
 from __future__ import annotations
 
-import sys
-import warnings
+from .._compat import _warned_sites, removed, warn_deprecated
 
-__all__ = ["warn_deprecated"]
-
-#: Caller (filename, lineno) pairs that have already warned.
-_warned_sites: set[tuple[str, int]] = set()
-
-
-def warn_deprecated(message: str) -> None:
-    """Emit ``DeprecationWarning`` once per call site of the shim.
-
-    Must be called directly from the deprecated function: frame depth 2
-    (and ``stacklevel`` 3) is the shim's caller.
-    """
-    frame = sys._getframe(2)
-    site = (frame.f_code.co_filename, frame.f_lineno)
-    if site in _warned_sites:
-        return
-    _warned_sites.add(site)
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
+__all__ = ["warn_deprecated", "removed", "_warned_sites"]

@@ -18,7 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
-from .deprecations import warn_deprecated
+from .._compat import removed
 
 __all__ = ["LengthSample", "Dataset", "SHAREGPT", "sharegpt", "sharegpt_ix2", "sharegpt_ox2"]
 
@@ -76,17 +76,17 @@ class Dataset:
         return inputs.astype(int), outputs.astype(int)
 
     def sample(self, rng: np.random.Generator, count: int = 1) -> list[LengthSample]:
-        """Deprecated: draw ``count`` i.i.d. length pairs as a list.
+        """Removed (deprecated in PR 6): draw length pairs as a list.
 
         Use :meth:`sample_arrays` for bulk draws or :meth:`stream` /
-        :meth:`draw` for the streaming path.
+        :meth:`draw` for the streaming path; ``sample_arrays`` makes
+        byte-identical draws to the old list-returning behaviour.
         """
-        warn_deprecated(
-            "Dataset.sample() is deprecated; use Dataset.sample_arrays() "
-            "for bulk draws or Dataset.stream()/draw() for streaming"
+        raise removed(
+            "Dataset.sample()",
+            "Dataset.sample_arrays() for bulk draws or "
+            "Dataset.stream()/draw() for streaming",
         )
-        inputs, outputs = self.sample_arrays(rng, count)
-        return [LengthSample(int(i), int(o)) for i, o in zip(inputs, outputs)]
 
     def draw(self, rng: np.random.Generator) -> LengthSample:
         """Draw one length pair (the streaming generators' scalar path)."""

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..models.catalog import ModelSpec
 from .arrivals import poisson_arrivals
-from .deprecations import warn_deprecated
+from .._compat import removed
 from .sharegpt import Dataset
 
 __all__ = ["TraceRequest", "Trace", "materialize_trace", "synthesize_trace"]
@@ -133,7 +133,7 @@ def synthesize_trace(
     horizon: float,
     seed: int = 0,
 ) -> Trace:
-    """Deprecated alias of :func:`materialize_trace`.
+    """Removed alias of :func:`materialize_trace` (deprecated in PR 6).
 
     The list-returning synthesis entry point is superseded by the
     streaming API (:func:`repro.workload.stream.stream_trace`, with
@@ -141,8 +141,8 @@ def synthesize_trace(
     :func:`materialize_trace` keeps the old byte-exact behaviour for
     callers that depend on it.
     """
-    warn_deprecated(
-        "synthesize_trace() is deprecated; use stream_trace() (streaming) "
-        "or materialize_trace() (explicit full materialization)"
+    raise removed(
+        "synthesize_trace()",
+        "stream_trace() (streaming) or materialize_trace() "
+        "(explicit full materialization)",
     )
-    return materialize_trace(models, rates, dataset, horizon, seed=seed)

@@ -19,7 +19,7 @@ import json
 from pathlib import Path
 
 from repro.chaos import FaultPlan
-from repro.core import AegaeonConfig, build_system
+from repro.core import AegaeonConfig, SystemSpec, build_system
 from repro.models import market_mix
 from repro.obs import ObsConfig
 from repro.sim import Environment
@@ -46,16 +46,17 @@ def faulted_run(fault_seed=None):
         else None
     )
     system = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
-            prefill_instances=1,
-            decode_instances=3,
-            cluster="h800-quad",
-            obs=ObsConfig.metrics_only(),
+        SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=1,
+                decode_instances=3,
+                cluster="h800-quad",
+                obs=ObsConfig.metrics_only(),
+            ),
+            faults=plan,
+            invariants=True,
         ),
-        faults=plan,
-        invariants=True,
+        env,
     )
     trace = materialize_trace(
         market_mix(4), [0.15] * 4, sharegpt(), horizon=HORIZON, seed=TRACE_SEED
@@ -108,16 +109,17 @@ class TestSameSeedIdentical:
         clean = full_snapshot(None)
         env = Environment()
         system = build_system(
-            "aegaeon",
-            env,
-            AegaeonConfig(
-                prefill_instances=1,
-                decode_instances=3,
-                cluster="h800-quad",
-                obs=ObsConfig.metrics_only(),
+            SystemSpec(
+                config=AegaeonConfig(
+                    prefill_instances=1,
+                    decode_instances=3,
+                    cluster="h800-quad",
+                    obs=ObsConfig.metrics_only(),
+                ),
+                faults=FaultPlan(),
+                invariants=True,
             ),
-            faults=FaultPlan(),
-            invariants=True,
+            env,
         )
         trace = materialize_trace(
             market_mix(4), [0.15] * 4, sharegpt(), horizon=HORIZON, seed=TRACE_SEED

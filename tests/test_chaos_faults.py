@@ -19,7 +19,7 @@ from repro.chaos import (
     LinkThrottle,
     TransferStall,
 )
-from repro.core import AegaeonConfig, build_system
+from repro.core import AegaeonConfig, SystemSpec, build_system
 from repro.models import market_mix
 from repro.sim import Environment
 from repro.workload import sharegpt, materialize_trace
@@ -41,15 +41,16 @@ def run_chaos(
     and its :class:`~repro.analysis.metrics.ServingResult`."""
     env = Environment()
     system = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
-            prefill_instances=prefill,
-            decode_instances=decode,
-            cluster="h800-quad",
+        SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=prefill,
+                decode_instances=decode,
+                cluster="h800-quad",
+            ),
+            faults=plan,
+            invariants=True,
         ),
-        faults=plan,
-        invariants=True,
+        env,
     )
     trace = materialize_trace(
         market_mix(models), [rate] * models, sharegpt(), horizon=horizon, seed=seed

@@ -5,7 +5,7 @@ end-to-end serve — schedulers, engines, transfers, daemons — must be a
 pure function of (trace, configuration).
 """
 
-from repro.core import AegaeonConfig, AegaeonServer, build_system
+from repro.core import AegaeonConfig, AegaeonServer, SystemSpec, build_system
 from repro.baselines import ServerlessLLM
 from repro.hardware import Cluster, H800
 from repro.models import market_mix
@@ -64,14 +64,15 @@ def run_unified_with_metrics(seed):
     full observable surface: metric snapshot, end time, kernel counters."""
     env = Environment()
     system = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
-            prefill_instances=1,
-            decode_instances=2,
-            cluster="h800-quad",
-            obs=ObsConfig.metrics_only(),
+        SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=1,
+                decode_instances=2,
+                cluster="h800-quad",
+                obs=ObsConfig.metrics_only(),
+            ),
         ),
+        env,
     )
     models = market_mix(6)
     trace = materialize_trace(

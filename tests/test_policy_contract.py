@@ -12,7 +12,7 @@ import dataclasses
 import pytest
 from hypothesis import given, settings
 
-from repro.core import DEFAULT_SLO, build_system
+from repro.core import DEFAULT_SLO, SystemSpec, build_system
 from repro.policy import (
     AdmissionPolicy,
     DecodeTurnPolicy,
@@ -104,7 +104,12 @@ class TestBundleShape:
     def test_system_is_buildable(self, name):
         bundle = get_bundle(name)
         system = build_system(
-            bundle.system, Environment(), small_config(bundle.system), policies=name
+            SystemSpec(
+                system=bundle.system,
+                config=small_config(bundle.system),
+                policies=name,
+            ),
+            Environment(),
         )
         assert system.policies is get_bundle(name)
 
@@ -117,7 +122,12 @@ class TestBundleConformance:
         bundle = get_bundle(name)
         env = Environment()
         system = build_system(
-            bundle.system, env, small_config(bundle.system), policies=name
+            SystemSpec(
+                system=bundle.system,
+                config=small_config(bundle.system),
+                policies=name,
+            ),
+            env,
         )
         trace = small_trace()
         result = system.serve(trace)

@@ -15,6 +15,7 @@ from repro.core import (
     AegaeonConfig,
     RunSettings,
     SloSpec,
+    SystemSpec,
     build_system,
 )
 from repro.core.decode_sched import BatchedDecodeScheduler
@@ -98,7 +99,9 @@ class TestSloAwareAdmission:
                 slo=slo,
                 obs=ObsConfig.full(),
             )
-            system = build_system("aegaeon", env, config, policies=name)
+            system = build_system(
+                SystemSpec(config=config, policies=name), env
+            )
             trace = small_trace(n_models=4, rps=0.3, horizon=40.0)
             system.serve(trace)
             registry = system.registry
@@ -177,7 +180,12 @@ class TestCostAwarePlacement:
         """The cost-placement bundle drives a full MuxServe run."""
         env = Environment()
         system = build_system(
-            "muxserve", env, small_config("muxserve"), policies="muxserve-cost-placement"
+            SystemSpec(
+                system="muxserve",
+                config=small_config("muxserve"),
+                policies="muxserve-cost-placement",
+            ),
+            env,
         )
         trace = small_trace()
         system.serve(trace)
@@ -220,7 +228,7 @@ class TestSchedulerViewIsolation:
 
     def _system(self):
         env = Environment()
-        return build_system("aegaeon", env, small_config("aegaeon"))
+        return build_system(SystemSpec(config=small_config("aegaeon")), env)
 
     def test_schedulers_copy_the_caller_list(self):
         system = self._system()

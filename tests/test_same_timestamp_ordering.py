@@ -30,7 +30,7 @@ from repro.chaos import (
     LinkThrottle,
     TransferStall,
 )
-from repro.core import AegaeonConfig, build_system
+from repro.core import AegaeonConfig, SystemSpec, build_system
 from repro.models import market_mix
 from repro.obs import ObsConfig
 from repro.sim import Environment
@@ -57,16 +57,17 @@ def collision_run():
         InstanceFailure(at=COLLIDE_AT, instance="decode1"),
     )
     system = build_system(
-        "aegaeon",
-        env,
-        AegaeonConfig(
-            prefill_instances=1,
-            decode_instances=2,
-            cluster="h800-quad",
-            obs=ObsConfig.metrics_only(),
+        SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=1,
+                decode_instances=2,
+                cluster="h800-quad",
+                obs=ObsConfig.metrics_only(),
+            ),
+            faults=plan,
+            invariants=True,
         ),
-        faults=plan,
-        invariants=True,
+        env,
     )
     trace = materialize_trace(
         market_mix(4), [0.2] * 4, sharegpt(), horizon=HORIZON, seed=TRACE_SEED

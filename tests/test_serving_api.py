@@ -54,12 +54,13 @@ class TestFactory:
 
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown serving system"):
-            build_system("nope", Environment())
+            build_system(SystemSpec(system="nope"), Environment())
 
     def test_aliases_and_case(self):
         env = Environment()
         system = build_system(
-            "ServerlessLLM+", env, small_config("serverless-llm+")
+            SystemSpec(system="ServerlessLLM+", config=small_config("serverless-llm+")),
+            env,
         )
         assert system.label == "ServerlessLLM+"
 
@@ -67,12 +68,47 @@ class TestFactory:
         with pytest.raises(ValueError, match="unknown cluster preset"):
             resolve_cluster("tpu-pod", Environment())
 
+    def test_legacy_keyword_form_warns_but_builds(self):
+        """The loose build_system(name, env, config) form still works,
+        but as a once-per-site DeprecationWarning shim."""
+        from repro import _compat
+
+        _compat._warned_sites.clear()
+        with pytest.warns(DeprecationWarning, match="pass a SystemSpec"):
+            legacy = build_system("aegaeon", Environment(), small_config("aegaeon"))
+        spec_built = build_system(
+            SystemSpec(config=small_config("aegaeon")), Environment()
+        )
+        assert type(legacy) is type(spec_built)
+        assert legacy.gpu_count == spec_built.gpu_count
+
+    def test_legacy_form_warns_once_per_call_site(self):
+        from repro import _compat
+
+        _compat._warned_sites.clear()
+        with pytest.warns(DeprecationWarning) as caught:
+            for _ in range(3):
+                build_system("aegaeon", Environment(), small_config("aegaeon"))
+        assert len(caught) == 1
+
+    def test_spec_form_rejects_loose_keywords(self):
+        with pytest.raises(TypeError, match="no loose keywords"):
+            build_system(
+                SystemSpec(config=small_config("aegaeon")),
+                Environment(),
+                small_config("aegaeon"),
+            )
+
+    def test_spec_form_builds_fresh_env_when_omitted(self):
+        system = build_system(SystemSpec(config=small_config("aegaeon")))
+        assert system.env is not None
+
 
 class TestConformance:
     @pytest.mark.parametrize("name", available_systems())
     def test_protocol_and_serve(self, name):
         env = Environment()
-        system = build_system(name, env, small_config(name))
+        system = build_system(SystemSpec(system=name, config=small_config(name)), env)
         assert isinstance(system, ServingSystem)
         assert system.label
 
@@ -96,7 +132,7 @@ class TestConformance:
         """The old baseline collect() dropped transfer stats; the shared
         base must route the real per-engine stats for every system."""
         env = Environment()
-        system = build_system(name, env, small_config(name))
+        system = build_system(SystemSpec(system=name, config=small_config(name)), env)
         result = system.serve(small_trace())
         assert result.transfer_stats, f"{name} returned no transfer stats"
 
@@ -106,7 +142,9 @@ class TestConformance:
         token_times = {}
         for obs in (ObsConfig.off(), ObsConfig.full()):
             env = Environment()
-            system = build_system("aegaeon", env, small_config("aegaeon", obs=obs))
+            system = build_system(
+                SystemSpec(config=small_config("aegaeon", obs=obs)), env
+            )
             result = system.serve(small_trace())
             token_times[obs.full_trace] = {
                 r.request_id: list(r.token_times) for r in result.requests
@@ -116,7 +154,7 @@ class TestConformance:
     def test_obs_off_records_nothing(self):
         env = Environment()
         system = build_system(
-            "aegaeon", env, small_config("aegaeon", obs=ObsConfig.off())
+            SystemSpec(config=small_config("aegaeon", obs=ObsConfig.off())), env
         )
         result = system.serve(small_trace())
         assert result.metrics == {}
@@ -129,7 +167,7 @@ class TestAcceptance:
         Chrome trace whose model-switch spans carry per-stage children."""
         env = Environment()
         system = build_system(
-            "aegaeon", env, small_config("aegaeon", obs=ObsConfig.full())
+            SystemSpec(config=small_config("aegaeon", obs=ObsConfig.full())), env
         )
         result = system.serve(small_trace(n_models=4, rps=0.12))
 
@@ -184,6 +222,19 @@ class TestRunSettings:
         with pytest.warns(RuntimeWarning, match="REPRO_TUNE_QMAXX"):
             RunSettings.from_env({"REPRO_TUNE_QMAXX": "8"})
 
+    def test_typo_warning_suggests_nearest_key(self):
+        with pytest.warns(RuntimeWarning, match="did you mean 'REPRO_BENCH_HORIZON'"):
+            RunSettings.from_env({"REPRO_BENCH_HORIZN": "60"})
+
+    def test_fleet_keys_are_recognized(self):
+        """REPRO_FLEET_* belongs to FleetConfig.from_env but shares the
+        one envkeys registry — RunSettings must not flag it as a typo."""
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            RunSettings.from_env({"REPRO_FLEET_CONTROLLER": "forecast"})
+
     def test_known_keys_are_quiet(self):
         import warnings as _warnings
 
@@ -205,7 +256,8 @@ class TestSystemSpec:
         spec = SystemSpec(system="aegaeon", config=small_config("aegaeon"))
         system = spec.build(Environment())
         direct = build_system(
-            "aegaeon", Environment(), small_config("aegaeon")
+            SystemSpec(system="aegaeon", config=small_config("aegaeon")),
+            Environment(),
         )
         assert type(system) is type(direct)
         assert system.gpu_count == direct.gpu_count

@@ -98,19 +98,27 @@ class TestMarketStreams:
 
 
 class TestDeprecations:
-    def test_synthesize_trace_warns_but_matches(self):
+    # synthesize_trace() and Dataset.sample() spent a release cycle as
+    # DeprecationWarning shims (PR 6) and are now removed: the shims
+    # raise a RuntimeError that names the replacement.
+    def test_synthesize_trace_is_removed(self):
         models = market_mix(2)
-        with pytest.warns(DeprecationWarning):
-            old = synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=50.0, seed=7)
-        new = materialize_trace(models, [0.3, 0.3], sharegpt(), horizon=50.0, seed=7)
-        assert old.requests == new.requests
+        with pytest.raises(RuntimeError, match=r"synthesize_trace\(\) was deprecated and has been removed"):
+            synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=50.0, seed=7)
 
-    def test_dataset_sample_warns_but_matches(self):
-        with pytest.warns(DeprecationWarning):
-            pairs = sharegpt().sample(np.random.default_rng(3), 64)
-        new_in, new_out = sharegpt().sample_arrays(np.random.default_rng(3), 64)
-        assert [p.input_tokens for p in pairs] == list(new_in)
-        assert [p.output_tokens for p in pairs] == list(new_out)
+    def test_synthesize_trace_error_names_replacements(self):
+        with pytest.raises(RuntimeError, match="stream_trace"):
+            synthesize_trace(market_mix(1), [0.3], sharegpt(), horizon=10.0)
+        with pytest.raises(RuntimeError, match="materialize_trace"):
+            synthesize_trace(market_mix(1), [0.3], sharegpt(), horizon=10.0)
+
+    def test_dataset_sample_is_removed(self):
+        with pytest.raises(RuntimeError, match=r"Dataset\.sample\(\) was deprecated and has been removed"):
+            sharegpt().sample(np.random.default_rng(3), 64)
+
+    def test_dataset_sample_error_names_replacements(self):
+        with pytest.raises(RuntimeError, match="sample_arrays"):
+            sharegpt().sample(np.random.default_rng(3), 8)
 
     def test_materialize_trace_is_quiet(self):
         with warnings.catch_warnings():
@@ -118,32 +126,37 @@ class TestDeprecations:
             materialize_trace(market_mix(2), [0.2, 0.2], sharegpt(), horizon=20.0)
 
     def test_shims_warn_once_per_call_site(self):
-        # Even with an "always" filter, repeated calls from one source
+        # The warn-once-per-site machinery now lives in repro._compat
+        # (the legacy build_system keyword form is its current tenant):
+        # even with an "always" filter, repeated calls from one source
         # line warn exactly once; a fresh call site warns again.
-        from repro.workload import deprecations
+        from repro import _compat
+        from repro.core import AegaeonConfig, build_system
+        from repro.sim import Environment
 
-        deprecations._warned_sites.clear()
-        dataset = sharegpt()
-        rng = np.random.default_rng(1)
+        config = AegaeonConfig(
+            prefill_instances=1, decode_instances=1, cluster="h800-quad"
+        )
+        _compat._warned_sites.clear()
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             for _ in range(3):
-                dataset.sample(rng, 2)  # one call site, three calls
+                build_system("aegaeon", Environment(), config)  # one site
         assert len(caught) == 1
         # The warning is attributed to this test (the caller), not the
-        # shim body inside repro.workload.
+        # shim body inside repro.core.
         assert caught[0].filename == __file__
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            dataset.sample(rng, 2)  # a distinct call site
-            dataset.sample(rng, 2)  # and a second one
+            build_system("aegaeon", Environment(), config)  # a distinct site
+            build_system("aegaeon", Environment(), config)  # and a second one
         assert len(caught) == 2
 
     def test_in_repo_paths_emit_no_deprecation_warnings(self):
         # Nothing inside repro calls the deprecated shims: synthesis,
         # streaming, and an end-to-end serve all run clean under
         # warnings-as-errors.
-        from repro.core import AegaeonConfig, build_system
+        from repro.core import AegaeonConfig, SystemSpec, build_system
         from repro.sim import Environment
 
         with warnings.catch_warnings():
@@ -154,11 +167,12 @@ class TestDeprecations:
             list(market_stream(4, 30.0, seed=3, total_rate=2.0))
             env = Environment()
             system = build_system(
-                "aegaeon",
-                env,
-                AegaeonConfig(
-                    prefill_instances=1, decode_instances=1, cluster="h800-quad"
+                SystemSpec(
+                    config=AegaeonConfig(
+                        prefill_instances=1, decode_instances=1, cluster="h800-quad"
+                    )
                 ),
+                env,
             )
             system.serve(trace, warm=False)
         assert system.registry.submitted == len(trace.requests)
