@@ -16,6 +16,7 @@ from .prefill_sched import (
 )
 from .proxy import ProxyLayer, StatusRegistry
 from .server import AegaeonConfig, AegaeonServer
+from .sessions import SessionCoordinator, SessionStats
 from .serving import (
     BaselineServer,
     MuxServeConfig,
@@ -52,6 +53,8 @@ __all__ = [
     "ServerlessLLMConfig",
     "ServingSystem",
     "ServingSystemBase",
+    "SessionCoordinator",
+    "SessionStats",
     "SloSpec",
     "StatusRegistry",
     "SystemConfig",

@@ -147,6 +147,17 @@ class ServingSystemBase:
         #: (forecast load / fleet mean; 1.0 == fair share).  See
         #: :meth:`apply_scaling_hint`.
         self.scaling_hint: float = 1.0
+        #: Model specs this run knows by name — populated by serve
+        #: paths/:meth:`register_models` and added to on every submit.
+        #: Routing policies resolve variant names through this.
+        self.spec_index: dict[str, object] = {}
+        #: Extra drain predicates consulted by the serve watchdogs; a
+        #: hook returning False keeps the run alive (e.g. a session
+        #: coordinator with stage submissions still pending).
+        self.drain_hooks: list[Callable[[], bool]] = []
+        #: The attached :class:`~repro.core.sessions.SessionCoordinator`,
+        #: if any (see :meth:`attach_sessions`).
+        self.sessions = None
         self._disposed = 0
         scope = self.obs.scoped("serving")
         self._failed_counter = scope.counter("requests_failed")
@@ -269,8 +280,43 @@ class ServingSystemBase:
         self.proxy.retain = retain_requests
         self.request_sink = request_sink
 
+    def register_models(self, models) -> None:
+        """Index model specs by name for routing policies to resolve."""
+        for spec in models:
+            self.spec_index.setdefault(spec.name, spec)
+
+    def attach_sessions(self, coordinator) -> None:
+        """Wire a :class:`~repro.core.sessions.SessionCoordinator` in.
+
+        Triggered stages submit through :meth:`submit`; the
+        coordinator's settle hook is composed *after* any existing
+        ``request_sink`` (stats fold first, DAG advance second) and its
+        :meth:`~repro.core.sessions.SessionCoordinator.drained`
+        predicate keeps the serve watchdogs alive across think-time
+        gaps.  Must precede submission, like
+        :meth:`configure_streaming`.
+        """
+        if self.proxy.submitted:
+            raise RuntimeError("attach_sessions must precede submission")
+        self.sessions = coordinator
+        coordinator.bind(self.submit)
+        inner = self.request_sink
+
+        def sink(request: Request) -> None:
+            if inner is not None:
+                inner(request)
+            coordinator.on_settled(request)
+
+        self.request_sink = sink
+        self.drain_hooks.append(coordinator.drained)
+
+    def _drained(self) -> bool:
+        """True when every attached drain hook agrees the run is idle."""
+        return all(hook() for hook in self.drain_hooks)
+
     def submit(self, trace_request, spec) -> Request:
         """Admit one externally driven request (the fleet-runner path)."""
+        self.spec_index.setdefault(spec.name, spec)
         request = Request(trace=trace_request, spec=spec)
         self.proxy.admit(request)
         return request
@@ -335,12 +381,15 @@ class ServingSystemBase:
 
     def serve(self, trace: Trace, until: Optional[float] = None) -> "ServingResult":
         """Replay ``trace`` to completion or the drain deadline."""
+        self.register_models(trace.models)
         self.prepare(trace)
         self.env.process(self.proxy.replay(trace))
         deadline = until if until is not None else trace.horizon + self.drain_grace
 
         def watchdog():
-            while self.accounted < len(trace.requests):
+            while not (
+                self.accounted >= len(trace.requests) and self._drained()
+            ):
                 if self.env.now >= deadline:
                     return
                 yield self.env.timeout(1.0)
@@ -360,6 +409,7 @@ class ServingSystemBase:
         receives the stream itself, which quacks enough like a trace
         (``models``, ``horizon``) for cache warming.
         """
+        self.register_models(stream.models)
         self.prepare(stream)
         self.env.process(self.proxy.replay_stream(stream))
         deadline = until if until is not None else stream.horizon + self.drain_grace
@@ -368,6 +418,7 @@ class ServingSystemBase:
             while not (
                 self.proxy.all_submitted.triggered
                 and self.accounted >= self.proxy.submitted
+                and self._drained()
             ):
                 if self.env.now >= deadline:
                     return

@@ -45,6 +45,13 @@ ENV_KEYS: dict[str, str] = {
     "REPRO_FLEET_CONTROLLER": "Fleet control policy: `static`, `forecast`, or empty/`off`.",
     "REPRO_FLEET_TICK": "Fleet controller tick interval in simulated seconds (default 5).",
     "REPRO_FLEET_SPILL_HOPS": "Max cross-shard spillover hops per rejected request (default 2).",
+    "REPRO_WORKLOAD_SESSION_RATE": "Agentic session arrivals per second (default 0.2).",
+    "REPRO_WORKLOAD_HORIZON": "Seconds of agentic session arrivals (default 120).",
+    "REPRO_WORKLOAD_SEED": "Seed of the agentic DAG generator (default 0).",
+    "REPRO_WORKLOAD_AGENTS": "Distinct agent variant groups in the workload (default 4).",
+    "REPRO_WORKLOAD_MAX_STAGES": "Max stages per agentic session DAG (default 5).",
+    "REPRO_WORKLOAD_MAX_FANOUT": "Max direct children of any DAG stage (default 2).",
+    "REPRO_WORKLOAD_THINK_TIME": "Mean think time between dependent stages, seconds (default 0.2).",
 }
 
 _TUNE_DESCRIPTION = (

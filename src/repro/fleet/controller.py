@@ -209,6 +209,10 @@ class FleetController:
         #: Rejections that stood because the hop bound was exhausted.
         self.spill_bound_hits = 0
         self._arrivals: dict[str, int] = {}
+        #: Callbacks fired on every *genuine* terminal disposition (not
+        #: on spills, which re-submit and settle elsewhere) — the
+        #: session coordinator advances DAGs through this.
+        self.settle_hooks: list = []
         #: Per-shard (tokens_met, tokens_expected) at the last tick, for
         #: windowed attainment.
         self._window = [(0, 0) for _ in runner.shards]
@@ -245,11 +249,18 @@ class FleetController:
             else:
                 settle(request.request_id)
                 fold(request)
+                for hook in self.settle_hooks:
+                    hook(request)
 
         return sink
 
     # -- spillover -----------------------------------------------------------
     def _try_spill(self, shard, request) -> bool:
+        # A policy can mark a rejection as final (the cost router's
+        # session-budget shedding): re-routing it to another shard would
+        # evade the decision, not the capacity problem.
+        if getattr(request, "no_spill", False):
+            return False
         if not self.ledger.can_spill(request.request_id):
             if self.config.max_spill_hops:
                 self.spill_bound_hits += 1

@@ -136,6 +136,9 @@ class FleetResult:
     shard_metrics: list = field(default_factory=list)
     #: ``FleetController.summary()`` when the run had a controller.
     controller: Optional[dict] = None
+    #: ``SessionCoordinator.summary()`` when the run mixed agentic
+    #: sessions into the stream (per-session conservation rollup).
+    sessions: Optional[dict] = None
 
     @property
     def slo_attainment(self) -> float:
@@ -158,6 +161,8 @@ class FleetResult:
         )
         if self.controller is not None:
             out["controller"] = dict(self.controller)
+        if self.sessions is not None:
+            out["sessions"] = dict(self.sessions)
         return out
 
 
@@ -183,6 +188,11 @@ class FleetRunner:
         self.obs = Observability(config.obs, clock=lambda: self.env.now)
         self.submitted = 0
         self._all_submitted = False
+        #: Extra drain predicates for the run watchdog (sessions).
+        self.drain_hooks: list = []
+        #: The attached :class:`~repro.core.sessions.SessionCoordinator`,
+        #: if any (see :meth:`attach_sessions`).
+        self.sessions = None
         self.shards: list[FleetShard] = []
         for index in range(config.shards):
             system = config.spec.build(self.env)
@@ -241,6 +251,51 @@ class FleetRunner:
                 total += shard.system.gpu_count * MARKET_HOURLY_USD["H800"]
         return total
 
+    def _drained(self) -> bool:
+        return all(hook() for hook in self.drain_hooks)
+
+    # -- sessions ------------------------------------------------------------
+    def submit_routed(self, trace_request, spec) -> None:
+        """Submit one triggered request through the pump's routing rules.
+
+        This is the fleet's session-submission channel: a coordinator's
+        triggered stage goes to whichever shard currently owns its model
+        (honoring live migrations) and counts toward the pump total so
+        the drain watchdog's conservation identity still holds.
+        """
+        shard = self.shards[self.partitioner.shard_of(trace_request.model)]
+        shard.system.submit(trace_request, spec)
+        self.submitted += 1
+        if self.controller is not None:
+            self.controller.note_arrival(trace_request.model)
+
+    def attach_sessions(self, coordinator) -> None:
+        """Wire a :class:`~repro.core.sessions.SessionCoordinator` in.
+
+        Triggered stages route through :meth:`submit_routed`; the
+        coordinator's settle hook fires on every genuine terminal
+        disposition (spills re-submit elsewhere and settle there), and
+        its drain predicate keeps the run watchdog alive across
+        think-time gaps.  Must precede :meth:`run`.
+        """
+        if self.submitted:
+            raise RuntimeError("attach_sessions must precede run()")
+        self.sessions = coordinator
+        coordinator.bind(self.submit_routed)
+        self.drain_hooks.append(coordinator.drained)
+        if self.controller is not None:
+            self.controller.settle_hooks.append(coordinator.on_settled)
+        else:
+            for shard in self.shards:
+                inner = shard.system.request_sink
+
+                def sink(request, inner=inner) -> None:
+                    if inner is not None:
+                        inner(request)
+                    coordinator.on_settled(request)
+
+                shard.system.request_sink = sink
+
     # -- the data path -------------------------------------------------------
     def _pump(self, stream):
         """Process: route the global stream, shard by model ownership."""
@@ -265,6 +320,10 @@ class FleetRunner:
         assignment = self.partitioner.assign(stream.models)
         for shard in self.shards:
             shard.models = tuple(assignment[shard.index])
+            # Every shard indexes the whole stream's specs: a routing
+            # policy may rewrite a request to a model variant that hashed
+            # to a different shard, and the rewrite needs the spec here.
+            shard.system.register_models(stream.models)
             shard.system.prepare(
                 _ShardCatalog(models=shard.models, horizon=stream.horizon)
             )
@@ -284,7 +343,11 @@ class FleetRunner:
             return self.submitted + spills
 
         def watchdog():
-            while not (self._all_submitted and self._disposed() >= pending()):
+            while not (
+                self._all_submitted
+                and self._disposed() >= pending()
+                and self._drained()
+            ):
                 if self.env.now >= deadline:
                     return
                 yield self.env.timeout(1.0)
@@ -328,6 +391,9 @@ class FleetRunner:
             ],
             controller=(
                 self.controller.summary() if self.controller is not None else None
+            ),
+            sessions=(
+                self.sessions.summary() if self.sessions is not None else None
             ),
         )
 

@@ -53,6 +53,7 @@ from .registry import (
     register_bundle,
     resolve_bundle,
 )
+from .routing import CostConstrainedRouter, SessionAffinityDispatch, stage_cost_usd
 from .scaling import RequestLevelScaling, TokenLevelScaling
 from .tunables import DEFAULT_TUNABLES, Tunables
 
@@ -64,6 +65,7 @@ __all__ = [
     "AlwaysAdmit",
     "BatchedDecodeDispatch",
     "CostAwarePlacement",
+    "CostConstrainedRouter",
     "DEFAULT_TUNABLES",
     "DecodeTurnPolicy",
     "DispatchPolicy",
@@ -78,6 +80,7 @@ __all__ = [
     "PolicyBundle",
     "RequestLevelScaling",
     "ScalingPolicy",
+    "SessionAffinityDispatch",
     "SloAwareAdmission",
     "StaticFleetControl",
     "TokenLevelScaling",
@@ -94,4 +97,5 @@ __all__ = [
     "register_fleet_policy",
     "reorder_work_list",
     "resolve_bundle",
+    "stage_cost_usd",
 ]

@@ -25,6 +25,7 @@ from .dispatch import (
     AffinityLeastLoadedDispatch,
 )
 from .placement import CostAwarePlacement, MemoryConstrainedPlacement
+from .routing import CostConstrainedRouter, SessionAffinityDispatch
 from .scaling import RequestLevelScaling, TokenLevelScaling
 from .tunables import Tunables
 
@@ -165,6 +166,22 @@ register_bundle(
         description="Aegaeon with SLO-aware load shedding: rejects at "
         "the proxy once queue pressure dooms the TTFT deadline, instead "
         "of only when pools empty-reject.",
+    )
+)
+
+register_bundle(
+    PolicyBundle(
+        name="aegaeon-cost-router",
+        system="aegaeon",
+        admission=CostConstrainedRouter(),
+        dispatch=SessionAffinityDispatch(),
+        decode_turn=WeightedRoundPolicy(),
+        scaling=TokenLevelScaling(),
+        placement=MemoryConstrainedPlacement(),
+        description="Aegaeon with ECCOS-style cost-constrained routing: "
+        "agentic stages pick a model variant by predicted difficulty "
+        "under a per-session budget, and dispatch keeps a session's "
+        "stages on the instance holding its KV.",
     )
 )
 

@@ -47,6 +47,15 @@ class Tunables:
     fetch_max_retries: int = 4
     #: Base of the loader's exponential fetch backoff (doubles per retry).
     fetch_backoff_base: float = 0.05
+    #: Cost-router budget: max realized USD spend per agentic session
+    #: (see :class:`repro.policy.routing.CostConstrainedRouter`).
+    router_session_budget_usd: float = 0.001
+    #: Stages at or above this predicted difficulty prefer the largest
+    #: model variant; easier stages prefer the smallest.
+    router_difficulty_threshold: float = 0.6
+    #: Price rate for the router's cost model: USD per million tokens
+    #: per billion parameters (size-proportional API pricing).
+    router_usd_per_mtok_b: float = 0.02
 
     def __post_init__(self) -> None:
         if self.qmax <= 0:
@@ -59,6 +68,12 @@ class Tunables:
             raise ValueError("grace/retry delays must be non-negative")
         if self.fetch_max_retries < 0 or self.fetch_backoff_base < 0:
             raise ValueError("fetch retry parameters must be non-negative")
+        if self.router_session_budget_usd <= 0:
+            raise ValueError("router_session_budget_usd must be positive")
+        if not 0.0 <= self.router_difficulty_threshold <= 1.0:
+            raise ValueError("router_difficulty_threshold must be in [0, 1]")
+        if self.router_usd_per_mtok_b <= 0:
+            raise ValueError("router_usd_per_mtok_b must be positive")
 
     @classmethod
     def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "Tunables":

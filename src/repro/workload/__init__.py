@@ -14,6 +14,15 @@ Two request APIs coexist:
 entry points kept for one release.
 """
 
+from .agentic import (
+    AgenticConfig,
+    AgenticRequest,
+    SessionPlan,
+    StagePlan,
+    agent_variant_groups,
+    agentic_stream,
+    draw_session_plan,
+)
 from .arrivals import BurstConfig, bursty_arrivals, poisson_arrivals, rate_series
 from .market import (
     MarketShape,
@@ -32,10 +41,12 @@ from .sharegpt import (
     sharegpt_ix2,
     sharegpt_ox2,
 )
-from .stream import RequestStream, stream_of_trace, stream_trace
+from .stream import RequestStream, merge_streams, stream_of_trace, stream_trace
 from .trace import Trace, TraceRequest, materialize_trace, synthesize_trace
 
 __all__ = [
+    "AgenticConfig",
+    "AgenticRequest",
     "BurstConfig",
     "Dataset",
     "LengthSample",
@@ -43,14 +54,20 @@ __all__ = [
     "PRODUCTION_SHAPE",
     "RequestStream",
     "SHAREGPT",
+    "SessionPlan",
+    "StagePlan",
     "Trace",
     "TraceRequest",
+    "agent_variant_groups",
+    "agentic_stream",
     "bursty_arrivals",
     "deployment_rates",
     "deployment_stream",
+    "draw_session_plan",
     "market_rates",
     "market_stream",
     "materialize_trace",
+    "merge_streams",
     "poisson_arrivals",
     "rate_series",
     "request_share_cdf",

@@ -39,7 +39,7 @@ from ..models.catalog import ModelSpec
 from .sharegpt import Dataset, sharegpt
 from .trace import Trace, TraceRequest
 
-__all__ = ["RequestStream", "stream_trace", "stream_of_trace"]
+__all__ = ["RequestStream", "merge_streams", "stream_trace", "stream_of_trace"]
 
 
 class RequestStream:
@@ -171,6 +171,35 @@ def stream_trace(
     return RequestStream(
         model_tuple, horizon, _iterate, rates=rate_tuple, name=name
     )
+
+
+def merge_streams(*streams: RequestStream, name: str = "merged") -> RequestStream:
+    """Merge streams into one arrival-ordered stream (bounded lookahead).
+
+    The merge is a k-way heap over the component iterators keyed on
+    ``(arrival, request_id)``, so it holds at most one pending request
+    per component and is deterministic whenever the components are.
+    The component streams must have **disjoint request-id ranges** —
+    that is the caller's responsibility (offset ``start_id``; agentic
+    streams default to the 1e6 block for exactly this reason).  Models
+    are unioned by name; horizon is the max of the components'.
+    """
+    if not streams:
+        raise ValueError("need at least one stream to merge")
+    specs: dict[str, ModelSpec] = {}
+    for stream in streams:
+        for spec in stream.models:
+            specs.setdefault(spec.name, spec)
+    horizon = max(stream.horizon for stream in streams)
+    components = tuple(streams)
+
+    def _iterate() -> Iterator[TraceRequest]:
+        return heapq.merge(
+            *(iter(stream) for stream in components),
+            key=lambda request: (request.arrival, request.request_id),
+        )
+
+    return RequestStream(tuple(specs.values()), horizon, _iterate, name=name)
 
 
 def stream_of_trace(trace: Trace, name: str = "trace") -> RequestStream:

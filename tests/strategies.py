@@ -10,11 +10,18 @@ realistic workload" is defined exactly once.
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import strategies as st
 
 from repro.chaos import FaultPlan
 from repro.hardware import GPU_PRESETS
 from repro.models import MODEL_CATALOG
+from repro.workload.agentic import (
+    AgenticConfig,
+    agent_variant_groups,
+    draw_session_plan,
+)
+from repro.workload.sharegpt import sharegpt
 
 __all__ = [
     "MiB",
@@ -34,6 +41,9 @@ __all__ = [
     "slab_operations",
     "fault_seeds",
     "fault_plans",
+    "session_seeds",
+    "session_plans",
+    "agentic_configs",
 ]
 
 MiB = 1024**2
@@ -94,6 +104,68 @@ def slab_operations(
 
 # -- chaos --------------------------------------------------------------------
 fault_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# -- agentic DAGs -------------------------------------------------------------
+session_seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+#: Shared fixtures for plan drawing: the groups/dataset are pure lookup
+#: tables, so sharing them across examples changes nothing.
+_PLAN_GROUPS = agent_variant_groups(3)
+_PLAN_DATASET = sharegpt()
+
+
+def _draw_plan(seed: int, stages: int, fanout: int, join: float):
+    config = AgenticConfig(
+        seed=seed,
+        min_stages=1,
+        max_stages=stages,
+        max_fanout=fanout,
+        join_probability=join,
+    )
+    rng = np.random.default_rng(np.random.SeedSequence(seed))
+    return draw_session_plan(
+        rng,
+        session=0,
+        base_id=0,
+        arrival=0.0,
+        config=config,
+        groups=_PLAN_GROUPS,
+        dataset=_PLAN_DATASET,
+    )
+
+
+def session_plans(max_stages: int = 8, max_fanout: int = 3) -> st.SearchStrategy:
+    """Seeded :class:`~repro.workload.agentic.SessionPlan` DAGs.
+
+    Like :func:`fault_plans`, the strategy draws only the scalar inputs
+    ``(seed, stage cap, fan-out cap, join probability)`` and delegates to
+    :func:`~repro.workload.agentic.draw_session_plan`, so "a generated
+    DAG" in the property tests means exactly what the workload generator
+    produces: acyclic by construction, connected, fan-out bounded, token
+    budgets positive.  Shrinking reduces to smaller seeds and caps.
+    """
+    return st.builds(
+        _draw_plan,
+        seed=session_seeds,
+        stages=st.integers(min_value=1, max_value=max_stages),
+        fanout=st.integers(min_value=1, max_value=max_fanout),
+        join=st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+def agentic_configs(max_rate: float = 4.0, max_horizon: float = 60.0) -> st.SearchStrategy:
+    """Valid :class:`~repro.workload.agentic.AgenticConfig` draws for
+    whole-stream properties (re-iteration identity, id-block layout)."""
+    return st.builds(
+        AgenticConfig,
+        session_rate=st.floats(min_value=0.1, max_value=max_rate),
+        horizon=st.floats(min_value=1.0, max_value=max_horizon),
+        seed=session_seeds,
+        agents=st.integers(min_value=1, max_value=4),
+        max_fanout=st.integers(min_value=1, max_value=3),
+        join_probability=st.floats(min_value=0.0, max_value=1.0),
+    )
 
 
 def fault_plans(

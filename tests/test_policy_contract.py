@@ -11,10 +11,18 @@ import dataclasses
 
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core import DEFAULT_SLO, SystemSpec, build_system
+from repro.core import (
+    DEFAULT_SLO,
+    AegaeonConfig,
+    SessionCoordinator,
+    SystemSpec,
+    build_system,
+)
 from repro.policy import (
     AdmissionPolicy,
+    CostConstrainedRouter,
     DecodeTurnPolicy,
     PlacementPolicy,
     PolicyBundle,
@@ -31,6 +39,7 @@ from repro.sim import Environment
 
 from .strategies import step_times, switch_costs
 from .test_serving_api import small_config, small_trace
+from .test_workload_agentic import small_stream
 
 EXPECTED_BUNDLES = {
     "aegaeon",
@@ -41,6 +50,7 @@ EXPECTED_BUNDLES = {
     "unified-decode-first",
     "aegaeon-slo-admission",
     "muxserve-cost-placement",
+    "aegaeon-cost-router",
 }
 
 
@@ -143,6 +153,73 @@ class TestBundleConformance:
         # A bundle may shed (slo-admission) or refuse unplaced models
         # (muxserve), but it must still serve the bulk of a light trace.
         assert registry.finished > 0
+
+
+class TestCostRouter:
+    """The ECCOS-style cost-constrained router bundle.
+
+    Beyond the generic conformance above (which it passes by no-op'ing
+    on variant-less market traffic), the router's own contract is pinned
+    here: on agentic traffic it actually downgrades easy stages, and the
+    realized per-session spend never exceeds the configured budget — for
+    the default budget and for any budget hypothesis draws.
+    """
+
+    @staticmethod
+    def routed_replay(bundle, seed=17):
+        """One coordinated agentic replay under ``bundle`` (name or object)."""
+        stream = small_stream(seed=seed, rate=1.5, horizon=12.0)
+        system = SystemSpec(
+            config=AegaeonConfig(
+                prefill_instances=1, decode_instances=3, cluster="h800-quad"
+            ),
+            policies=bundle,
+        ).build()
+        coordinator = SessionCoordinator(system.env, stream.spec_of)
+        system.attach_sessions(coordinator)
+        system.serve_stream(coordinator.wrap_stream(stream))
+        return system, coordinator
+
+    def test_router_downgrades_on_agentic_traffic(self):
+        system, coordinator = self.routed_replay("aegaeon-cost-router")
+        counts = CostConstrainedRouter.counts_of(system)
+        assert counts["downgraded"] > 0, "no easy stage rode the small variant"
+        spend = CostConstrainedRouter.spend_of(system)
+        budget = system.policies.tunables.router_session_budget_usd
+        assert spend and max(spend.values()) <= budget + 1e-12
+
+    def test_router_is_inert_on_plain_traffic(self):
+        """Variant-less requests pass through untouched (spend ledger empty)."""
+        bundle = get_bundle("aegaeon-cost-router")
+        env = Environment()
+        system = build_system(
+            SystemSpec(
+                system=bundle.system,
+                config=small_config(bundle.system),
+                policies=bundle.name,
+            ),
+            env,
+        )
+        system.serve(small_trace())
+        assert system.registry.finished > 0
+        assert not CostConstrainedRouter.spend_of(system)
+
+    @settings(max_examples=8, deadline=None)
+    @given(budget=st.floats(min_value=2e-5, max_value=2e-3))
+    def test_spend_never_exceeds_any_budget(self, budget):
+        bundle = get_bundle("aegaeon-cost-router").with_tunables(
+            Tunables(router_session_budget_usd=budget)
+        )
+        system, coordinator = self.routed_replay(bundle)
+        spend = CostConstrainedRouter.spend_of(system)
+        assert all(value <= budget + 1e-12 for value in spend.values())
+        # Budget shedding is a terminal rejection, never lost accounting.
+        s = coordinator.stats
+        assert s.stages_submitted == (
+            s.stages_finished + s.stages_failed + s.stages_rejected
+        )
+        counts = CostConstrainedRouter.counts_of(system)
+        assert counts["shed"] == s.stages_rejected
 
 
 class TestWeightedRoundProperties:
