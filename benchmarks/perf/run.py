@@ -15,6 +15,13 @@ baseline and exits non-zero when any scenario drops by more than
 problem sizes; quick throughput is compared against the baseline's
 recorded quick numbers when present, else full-size numbers.
 
+``--full`` adds the suite's opt-in full-size scenarios (currently
+``fleet_replay_1m``: 10^6 streamed requests with the process RSS
+high-water recorded in the report) at one trial each.  ``--summary
+FILE`` appends a markdown before/after throughput table to ``FILE`` —
+CI passes ``"$GITHUB_STEP_SUMMARY"`` so every perf job renders its
+comparison against the committed baseline in the job summary.
+
 ``--profile`` additionally runs each scenario once under ``cProfile``
 and writes a ``<suite>_<scenario>.pstats`` artifact (to ``--profile-dir``,
 default the current directory), so a kernel PR can ship evidence of
@@ -36,7 +43,12 @@ _REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(_REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from benchmarks.perf.scenarios import SCENARIOS, SUITES, run_scenario  # noqa: E402
+from benchmarks.perf.scenarios import (  # noqa: E402
+    FULL_SCENARIOS,
+    SCENARIOS,
+    SUITES,
+    run_scenario,
+)
 
 #: Default baseline file per suite ("all" gates against both files via
 #: two explicit invocations instead).
@@ -46,7 +58,9 @@ _SUITE_BASELINES = {
 }
 
 
-def measure(quick: bool, repeat: int, suite: str = "kernel") -> dict:
+def measure(
+    quick: bool, repeat: int, suite: str = "kernel", full: bool = False
+) -> dict:
     report: dict = {
         "meta": {
             "python": platform.python_version(),
@@ -58,13 +72,25 @@ def measure(quick: bool, repeat: int, suite: str = "kernel") -> dict:
         },
         "scenarios": {},
     }
-    for name in SUITES[suite]:
+    names = list(SUITES[suite])
+    full_names = FULL_SCENARIOS.get(suite, ()) if full else ()
+    names += [name for name in full_names if name not in names]
+    for name in names:
+        # Full-size opt-in scenarios run minutes per trial; one trial is
+        # the measurement (their size already drowns scheduler noise).
+        trials = 1 if name in full_names else repeat
         print(f"[perf] {name} ...", flush=True)
-        result = run_scenario(name, quick=quick, repeat=repeat)
+        result = run_scenario(name, quick=quick, repeat=trials)
         report["scenarios"][name] = result
+        extra = (
+            f", RSS peak {result['rss_peak_mb']:,.0f} MB"
+            if "rss_peak_mb" in result
+            else ""
+        )
         print(
             f"[perf] {name}: {result['ops_per_sec']:,.0f} events/s "
-            f"({result['wall_s']:.3f}s wall, {result['sim_steps']} steps)",
+            f"({result['wall_s']:.3f}s wall, {result['sim_steps']} steps"
+            f"{extra})",
             flush=True,
         )
     return report
@@ -102,6 +128,50 @@ def profile_suite(suite: str, quick: bool, out_dir: Path) -> list[Path]:
             where = f"{Path(filename).name}:{lineno}" if lineno else filename
             print(f"[perf]   {tottime:8.3f}s  {func} ({where})")
     return paths
+
+
+def render_summary(report: dict, baseline_path: Path) -> str:
+    """A GitHub-flavored markdown before/after table for the job summary.
+
+    One row per measured scenario: the committed baseline throughput,
+    this run's throughput, and the ratio — the same comparison
+    :func:`check` gates on, rendered for humans.  Scenarios without a
+    baseline entry (e.g. a newly added one) show a dash.
+    """
+    baseline: dict = {}
+    if baseline_path.exists():
+        with baseline_path.open() as fh:
+            baseline = json.load(fh).get("scenarios", {})
+    suite = report.get("meta", {}).get("suite", "?")
+    quick = report.get("meta", {}).get("quick", False)
+    has_rss = any(
+        "rss_peak_mb" in result for result in report["scenarios"].values()
+    )
+    lines = [
+        f"### Perf: `{suite}` suite{' (quick)' if quick else ''}",
+        "",
+        "| scenario | baseline events/s | current events/s | ratio | wall "
+        + ("| RSS peak " if has_rss else "")
+        + "|",
+        "|---|---:|---:|---:|---:" + ("|---:" if has_rss else "") + "|",
+    ]
+    for name, result in report["scenarios"].items():
+        base = baseline.get(name)
+        if base is not None:
+            base_ops = f"{base['ops_per_sec']:,.0f}"
+            ratio = f"{result['ops_per_sec'] / base['ops_per_sec']:.2f}x"
+        else:
+            base_ops = ratio = "—"
+        rss = (
+            f" {result['rss_peak_mb']:,.0f} MB |"
+            if has_rss and "rss_peak_mb" in result
+            else (" — |" if has_rss else "")
+        )
+        lines.append(
+            f"| {name} | {base_ops} | {result['ops_per_sec']:,.0f} "
+            f"| {ratio} | {result['wall_s']:.3f}s |{rss}"
+        )
+    return "\n".join(lines) + "\n"
 
 
 def check(report: dict, baseline_path: Path, max_drop: float) -> int:
@@ -170,6 +240,16 @@ def main(argv: list[str] | None = None) -> int:
         help="reduced problem sizes for CI smoke runs",
     )
     parser.add_argument(
+        "--full", action="store_true",
+        help="also run the suite's opt-in full-size scenarios "
+        "(e.g. fleet_replay_1m: 10^6 requests, minutes of wall time)",
+    )
+    parser.add_argument(
+        "--summary", type=Path, default=None,
+        help="append a markdown before/after throughput table here "
+        "(pass \"$GITHUB_STEP_SUMMARY\" in CI)",
+    )
+    parser.add_argument(
         "--repeat", type=int, default=3,
         help="trials per scenario, best kept (default 3)",
     )
@@ -188,7 +268,9 @@ def main(argv: list[str] | None = None) -> int:
             args.suite, "BENCH_kernel.json"
         )
 
-    report = measure(quick=args.quick, repeat=args.repeat, suite=args.suite)
+    report = measure(
+        quick=args.quick, repeat=args.repeat, suite=args.suite, full=args.full
+    )
 
     if args.profile:
         profile_suite(args.suite, quick=args.quick, out_dir=args.profile_dir)
@@ -196,6 +278,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
         print(f"[perf] wrote {args.out}")
+
+    if args.summary is not None:
+        with args.summary.open("a") as fh:
+            fh.write(render_summary(report, args.baseline))
+        print(f"[perf] appended summary table to {args.summary}")
 
     if args.check:
         if not args.baseline.exists():

@@ -1,4 +1,4 @@
-"""The three tracked perf scenarios.
+"""The tracked perf scenarios.
 
 Each scenario function takes ``quick`` (smaller problem for CI smoke
 runs) and returns a flat result dict with at least:
@@ -12,6 +12,7 @@ runs) and returns a flat result dict with at least:
 
 from __future__ import annotations
 
+import resource
 import time
 from typing import Callable
 
@@ -21,7 +22,7 @@ from repro.models import market_mix
 from repro.sim import Environment
 from repro.workload import sharegpt, materialize_trace
 
-__all__ = ["SCENARIOS", "SUITES", "run_scenario"]
+__all__ = ["FULL_SCENARIOS", "SCENARIOS", "SUITES", "run_scenario"]
 
 
 def kernel_event_throughput(quick: bool = False) -> dict:
@@ -216,20 +217,78 @@ def fleet_controller_replay(quick: bool = False) -> dict:
     }
 
 
+def fleet_replay_1m(quick: bool = False) -> dict:
+    """Opt-in (``--suite fleet --full``): a 10^6-request fleet replay.
+
+    The tentpole claim behind the continuation refactor: one process,
+    one simulation clock, a million requests streamed through 8 testbed
+    shards (128 GPUs) with bounded memory.  Requests are generated
+    lazily and dropped at disposal, so RSS tracks in-flight concurrency,
+    not trace length — the report records the process RSS high-water
+    mark (``ru_maxrss``) as evidence.  ``ru_maxrss`` is a
+    process-lifetime maximum, so run this scenario in a fresh process
+    (the CLI does) for a tight bound; in-suite it is still a valid
+    upper bound.
+
+    ``quick`` shrinks to ~2*10^4 requests: same shape, smoke-sized.
+    """
+    from repro.core import SystemSpec
+    from repro.fleet import FleetConfig, build_fleet
+    from repro.workload import market_stream
+
+    total_rate = 24.0
+    n_requests = 20_000 if quick else 1_000_000
+    horizon = n_requests / total_rate
+    fleet = build_fleet(
+        FleetConfig(shards=8, spec=SystemSpec(cluster="testbed"))
+    )
+    stream = market_stream(640, horizon, seed=2025, total_rate=total_rate)
+    fleet.partitioner.rebalance(
+        {model.name: rate for model, rate in zip(stream.models, stream.rates)}
+    )
+    env = fleet.env
+    start = time.perf_counter()
+    result = fleet.run(stream)
+    wall = time.perf_counter() - start
+    steps = env.steps_executed
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    return {
+        "ops_per_sec": steps / wall if wall > 0 else 0.0,
+        "wall_s": wall,
+        "sim_steps": steps,
+        "sim_end": env.now,
+        "requests": result.submitted,
+        "slo_attainment": round(result.slo_attainment, 6),
+        "rss_peak_mb": round(rss_mb, 1),
+        "events_recycled": env.events_recycled,
+    }
+
+
 SCENARIOS: dict[str, Callable[[bool], dict]] = {
     "kernel_event_throughput": kernel_event_throughput,
     "end_to_end_serving": end_to_end_serving,
     "switch_storm": switch_storm,
     "fleet_replay": fleet_replay,
     "fleet_controller_replay": fleet_controller_replay,
+    "fleet_replay_1m": fleet_replay_1m,
 }
+
+#: Scenarios only run when the CLI is passed ``--full`` (minutes, not
+#: seconds, at full size); never part of a plain suite run.
+FULL_SCENARIOS: dict[str, tuple[str, ...]] = {
+    "fleet": ("fleet_replay_1m",),
+}
+
+_FULL_ONLY = frozenset(
+    name for names in FULL_SCENARIOS.values() for name in names
+)
 
 #: Scenario groups the CLI can select; the default "kernel" suite keeps
 #: the original three (and the BENCH_kernel.json baseline) unchanged.
 SUITES: dict[str, tuple[str, ...]] = {
     "kernel": ("kernel_event_throughput", "end_to_end_serving", "switch_storm"),
     "fleet": ("fleet_replay", "fleet_controller_replay"),
-    "all": tuple(SCENARIOS),
+    "all": tuple(name for name in SCENARIOS if name not in _FULL_ONLY),
 }
 
 

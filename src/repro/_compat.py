@@ -1,22 +1,20 @@
 """Deprecation plumbing shared across the package.
 
-Two lifecycle stages, one module:
+:func:`warn_deprecated` is the warn-once-per-call-site helper behind
+every still-deprecated entry point — today that is the loose
+``build_system(name, env, ...)`` keyword form superseded by
+:class:`repro.core.SystemSpec`.  The shims sit under loops in
+downstream scripts; a naive ``warnings.warn`` spams one line per
+iteration whenever the ambient filter is ``always`` (pytest, many
+notebook setups).  Deduplicating on the *caller's* ``(filename,
+lineno)`` makes each call site warn exactly once per process regardless
+of filter configuration, with the warning attributed to the caller
+(``stacklevel``), not the shim body.
 
-* :func:`warn_deprecated` — the warn-once-per-call-site helper that
-  grew up in ``repro.workload.deprecations`` (PR 6) and now serves every
-  deprecated entry point, most prominently the loose
-  ``build_system(name, env, ...)`` keyword form superseded by
-  :class:`repro.core.SystemSpec`.  The shims sit under loops in
-  downstream scripts; a naive ``warnings.warn`` spams one line per
-  iteration whenever the ambient filter is ``always`` (pytest, many
-  notebook setups).  Deduplicating on the *caller's* ``(filename,
-  lineno)`` makes each call site warn exactly once per process
-  regardless of filter configuration, with the warning attributed to
-  the caller (``stacklevel``), not the shim body.
-* :func:`removed` — the terminal stage: one release cycle after a shim
-  started warning, it raises ``RuntimeError`` naming the replacement so
-  stragglers get an actionable error instead of silently stale
-  behaviour.
+Fully-removed entry points (``synthesize_trace``, ``Dataset.sample``)
+no longer leave stubs behind: after a release cycle as RuntimeError
+shims they were deleted outright, so stale callers now fail at import
+or attribute lookup.
 """
 
 from __future__ import annotations
@@ -24,7 +22,7 @@ from __future__ import annotations
 import sys
 import warnings
 
-__all__ = ["warn_deprecated", "removed"]
+__all__ = ["warn_deprecated"]
 
 #: Caller (filename, lineno) pairs that have already warned.
 _warned_sites: set[tuple[str, int]] = set()
@@ -43,14 +41,3 @@ def warn_deprecated(message: str, *, depth: int = 2) -> None:
         return
     _warned_sites.add(site)
     warnings.warn(message, DeprecationWarning, stacklevel=depth + 1)
-
-
-def removed(name: str, replacement: str) -> "RuntimeError":
-    """The error a graduated shim raises: ``raise removed(...)``.
-
-    Returned (not raised) so the shim body reads as a single statement
-    and static analyzers see the raise at the call site.
-    """
-    return RuntimeError(
-        f"{name} was deprecated and has been removed; use {replacement} instead"
-    )

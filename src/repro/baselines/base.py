@@ -17,7 +17,7 @@ from typing import Callable, Generator, Optional, Sequence
 from ..core.serving import BaselineServer
 from ..engine.batching import ContinuousBatcher
 from ..engine.request import Phase, Request
-from ..sim import Environment, Event
+from ..sim import ContTask, Environment, Event
 
 __all__ = ["BaselineServer", "BatcherInstanceBase"]
 
@@ -51,23 +51,13 @@ class BatcherInstanceBase:
 
     # -- driver loop ---------------------------------------------------------
     def _start(self) -> None:
-        """Launch the driver process (call at the end of subclass ctors)."""
-        self.process = self.env.process(self._run())
+        """Launch the driver task (call at the end of subclass ctors)."""
+        self.process = _DriverTask(self.env, self)
 
     def _kick(self) -> None:
         """Wake the driver loop after new work arrives."""
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
-
-    def _run(self) -> Generator:
-        while True:
-            if not self.active:
-                self._wake = self.env.event()
-                if not self.active:
-                    yield self._wake
-                self._wake = None
-                continue
-            yield from self._step()
 
     # -- request-lifecycle accounting ----------------------------------------
     def _mark_prefilling(self, admitted: Sequence[Request]) -> None:
@@ -125,3 +115,37 @@ class BatcherInstanceBase:
             batcher.retire(request)
             request.complete(self.env.now)
             self.on_finished(request)
+
+
+class _DriverTask(ContTask):
+    """The wake/sleep driver loop as a continuation state machine.
+
+    Each ``_step()`` scheduling iteration (a subclass generator) runs
+    through the :class:`~repro.sim.ContTask` bridge, so its events fire
+    exactly as the old ``yield from`` did; only the outer ``while True``
+    generator frame is gone.
+    """
+
+    __slots__ = ("_inst",)
+
+    def __init__(self, env: Environment, inst: BatcherInstanceBase) -> None:
+        self._inst = inst
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._main()
+
+    def _main(self) -> Event:
+        inst = self._inst
+        if not inst.active:
+            inst._wake = self.env.event()
+            self._send = self._woken
+            return inst._wake
+        return self._run_gen(inst._step(), self._step_done)
+
+    def _woken(self, value: object) -> Event:
+        self._inst._wake = None
+        return self._main()
+
+    def _step_done(self, value: object) -> Event:
+        return self._main()

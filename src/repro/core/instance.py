@@ -2,7 +2,7 @@
 
 Aegaeon splits its GPU pool into a prefill partition and a decoding
 partition.  Each instance is one engine (a TP group of GPUs) driven by a
-simulation process:
+continuation task (:class:`~repro.sim.ContTask`) on the kernel:
 
 * :class:`PrefillInstance` executes grouped prefill jobs front-to-back
   (Algorithm 1's execution side), scaling the engine between groups and
@@ -21,7 +21,7 @@ pre-policy-layer behaviour exactly.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Generator, Optional
+from typing import Callable, Optional
 
 from ..engine.engine import AegaeonEngine
 from ..engine.request import Phase, Request
@@ -32,7 +32,7 @@ from ..policy.base import DecodeTurnPolicy, ScalingPolicy, policy_event
 from ..policy.decode_turn import WeightedRoundPolicy
 from ..policy.scaling import TokenLevelScaling
 from ..policy.tunables import DEFAULT_TUNABLES, Tunables
-from ..sim import Environment, Event, Interrupt
+from ..sim import ContTask, Environment, Event, Interrupt
 from ..transfer.kv_transfer import RequestKv
 from ..transfer.loader import CheckpointFetchError
 from .decode_sched import DecodeBatch
@@ -81,7 +81,7 @@ class PrefillInstance:
             obs.scoped(name).gauge("queued_requests").set_fn(
                 lambda: sum(len(group.requests) for group in self.groups)
             )
-        self.process = env.process(self._run())
+        self.process = _PrefillTask(env, self)
 
     # -- scheduler interface (PrefillInstanceLike) ---------------------------
     def current_model(self) -> Optional[ModelSpec]:
@@ -142,103 +142,201 @@ class PrefillInstance:
             self.process.interrupt("instance failure")
         return orphans
 
-    # -- main loop -------------------------------------------------------------
-    def _run(self) -> Generator:
-        try:
-            while True:
-                if not self.groups:
-                    yield from self._sleep()
-                    continue
-                group = self.groups[0]
-                if group.exhausted:
-                    self.groups.pop(0)
-                    continue
-                request = group.requests.popleft()
-                self._inflight = request
-                try:
-                    yield from self._execute(group.spec, request)
-                except CheckpointFetchError:
-                    # Retry budget exhausted: the registry is persistently
-                    # unreachable for this model.  Fail the request rather
-                    # than wedging the whole queue behind it.
-                    self.fetch_aborts += 1
-                    if request.kv is not None:
-                        self.engine.kv.abort_request(request.kv)
-                        request.kv = None
-                    request.reset_progress()
-                    if self.on_failed is not None:
-                        self.on_failed(request)
-                self._inflight = None
-        except Interrupt:
-            return  # instance failure: fail() already harvested state
-
-    def _sleep(self) -> Generator:
-        self._wake = self.env.event()
-        if not self.groups:
-            yield self._wake
-        self._wake = None
-
-    def _execute(self, spec: ModelSpec, request: Request) -> Generator:
-        tracer = self._tracer
-        if tracer.enabled:
-            with tracer.span(
-                "prefill_job", cat="lifecycle", track=self.name,
-                request_id=request.request_id, model=request.model,
-            ):
-                yield from self._execute_inner(spec, request)
-        else:
-            yield from self._execute_inner(spec, request)
-
-    def _execute_inner(self, spec: ModelSpec, request: Request) -> Generator:
-        if self.scaling.should_switch(self.engine, spec):
-            current = self.engine.current_model
-            policy_event(
-                self._tracer, "scale", instance=self.name, phase="prefill",
-                model=spec.name, evicted=None if current is None else current.name,
-            )
-            # Look ahead: start prefetching the following group's model
-            # while this scale-up runs its non-load stages.
-            yield from self.engine.scale_to(spec)
-        self._prefetch_next(spec)
-        # KV for the prompt; retried under transient cache pressure
-        # (swap-outs free blocks asynchronously).
-        request.kv = RequestKv(
-            request_id=request.request_id,
-            shape=kv_shape(request.spec, self.engine.config.tp),
-            tokens=request.input_tokens,
-            block_tokens=self.engine.config.block_tokens,
-        )
-        while True:
-            try:
-                self.engine.kv.alloc_gpu(request.kv)
-                break
-            except MemoryError:
-                yield self.env.timeout(self._alloc_retry_delay)
-        request.phase = Phase.PREFILLING
-        request.prefill_start = self.env.now
-        yield from self.engine.prefill(spec, [request.input_tokens])
-        request.prefill_end = self.env.now
-        request.record_tokens([self.env.now])  # the first output token
-        # Offload the prompt KV to the unified CPU cache.  Under
-        # fine-grained sync this overlaps with the next prefill; the
-        # unoptimized path must drain before proceeding.
-        while True:
-            try:
-                self.engine.kv.swap_out(request.kv)
-                break
-            except MemoryError:
-                yield self.env.timeout(self._alloc_retry_delay)
-        if not self.engine.config.fine_grained_sync:
-            yield from self.engine.kv.drain()
-        request.phase = Phase.DECODING
-        request.decode_enqueue = self.env.now
-        self.on_prefilled(request)
-
     def _prefetch_next(self, current: ModelSpec) -> None:
         for group in self.groups:
             if group.spec.name != current.name and not group.exhausted:
                 self.engine.prefetch(group.spec)
                 return
+
+
+class _PrefillTask(ContTask):
+    """Algorithm 1's execution loop as a continuation state machine.
+
+    Event-for-event identical to the generator loop it replaces: the
+    sleep park, scale/prefill/drain sub-generators (driven through the
+    :class:`~repro.sim.ContTask` bridge), and the alloc/swap retry
+    timeouts all consume the same kernel events in the same order.  The
+    single-timeout prefill execution is inlined when the tracer is off,
+    so the hottest wake pays one state-function call instead of a
+    ``generator.send`` through two frames.
+    """
+
+    __slots__ = ("_inst", "_spec", "_request", "_span", "_duration")
+
+    def __init__(self, env: Environment, inst: "PrefillInstance") -> None:
+        self._inst = inst
+        self._spec = None
+        self._request = None
+        self._span = None
+        self._duration = 0.0
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._main()
+
+    def _main(self) -> Event:
+        inst = self._inst
+        while True:
+            if not inst.groups:
+                inst._wake = self.env.event()
+                self._send = self._woken
+                return inst._wake
+            group = inst.groups[0]
+            if group.exhausted:
+                inst.groups.pop(0)
+                continue
+            request = group.requests.popleft()
+            inst._inflight = request
+            self._spec = group.spec
+            self._request = request
+            return self._begin_job()
+
+    def _woken(self, value: object) -> Event:
+        self._inst._wake = None
+        return self._main()
+
+    def _begin_job(self) -> Event:
+        inst = self._inst
+        request = self._request
+        spec = self._spec
+        tracer = inst._tracer
+        if tracer.enabled:
+            self._span = tracer.span(
+                "prefill_job", cat="lifecycle", track=inst.name,
+                request_id=request.request_id, model=request.model,
+            )
+            self._span.__enter__()
+        engine = inst.engine
+        if inst.scaling.should_switch(engine, spec):
+            current = engine.current_model
+            policy_event(
+                tracer, "scale", instance=inst.name, phase="prefill",
+                model=spec.name, evicted=None if current is None else current.name,
+            )
+            # Look ahead: start prefetching the following group's model
+            # while this scale-up runs its non-load stages.
+            return self._run_gen(engine.scale_to(spec), self._after_scale)
+        return self._after_scale(None)
+
+    def _after_scale(self, value: object) -> Event:
+        inst = self._inst
+        request = self._request
+        inst._prefetch_next(self._spec)
+        # KV for the prompt; retried under transient cache pressure
+        # (swap-outs free blocks asynchronously).
+        request.kv = RequestKv(
+            request_id=request.request_id,
+            shape=kv_shape(request.spec, inst.engine.config.tp),
+            tokens=request.input_tokens,
+            block_tokens=inst.engine.config.block_tokens,
+        )
+        return self._alloc_kv()
+
+    def _alloc_kv(self) -> Event:
+        inst = self._inst
+        try:
+            inst.engine.kv.alloc_gpu(self._request.kv)
+        except MemoryError:
+            self._send = self._alloc_retry
+            return self.env.timeout(inst._alloc_retry_delay)
+        return self._start_prefill()
+
+    def _alloc_retry(self, value: object) -> Event:
+        return self._alloc_kv()
+
+    def _start_prefill(self) -> Event:
+        inst = self._inst
+        engine = inst.engine
+        request = self._request
+        spec = self._spec
+        request.phase = Phase.PREFILLING
+        request.prefill_start = self.env.now
+        if engine._tracer.enabled:
+            return self._run_gen(
+                engine.prefill(spec, [request.input_tokens]), self._after_prefill
+            )
+        # Tracer off: the prefill is one timeout; run it without the
+        # engine's generator frame (same event, same busy accounting).
+        engine._require_active(spec)
+        duration = (
+            engine.latency_model(spec).prefill_time([request.input_tokens])
+            * engine.perf_factor
+        )
+        self._duration = duration
+        self._send = self._prefill_done
+        return self.env.timeout(duration)
+
+    def _prefill_done(self, value: object) -> Event:
+        self._inst.engine.busy_time += self._duration
+        return self._after_prefill(None)
+
+    def _after_prefill(self, value: object) -> Event:
+        request = self._request
+        now = self.env.now
+        request.prefill_end = now
+        request.record_tokens([now])  # the first output token
+        return self._swap_out()
+
+    def _swap_out(self) -> Event:
+        # Offload the prompt KV to the unified CPU cache.  Under
+        # fine-grained sync this overlaps with the next prefill; the
+        # unoptimized path must drain before proceeding.
+        inst = self._inst
+        try:
+            inst.engine.kv.swap_out(self._request.kv)
+        except MemoryError:
+            self._send = self._swap_retry
+            return self.env.timeout(inst._alloc_retry_delay)
+        if not inst.engine.config.fine_grained_sync:
+            return self._run_gen(inst.engine.kv.drain(), self._job_done)
+        return self._job_done(None)
+
+    def _swap_retry(self, value: object) -> Event:
+        return self._swap_out()
+
+    def _job_done(self, value: object) -> Event:
+        inst = self._inst
+        request = self._request
+        request.phase = Phase.DECODING
+        request.decode_enqueue = self.env.now
+        inst.on_prefilled(request)
+        self._close_span()
+        self._request = None
+        self._spec = None
+        inst._inflight = None
+        return self._main()
+
+    def _close_span(self) -> None:
+        span = self._span
+        if span is not None:
+            self._span = None
+            span.__exit__(None, None, None)
+
+    def _on_throw(self, exc: BaseException) -> Event:
+        # Mirrors the generator loop's unwinding: the job span closes as
+        # the exception propagates, then the loop either exits quietly
+        # (instance failure) or fails the wedged request and moves on.
+        self._close_span()
+        if isinstance(exc, Interrupt):
+            raise StopIteration(None)
+        if isinstance(exc, CheckpointFetchError):
+            # Retry budget exhausted: the registry is persistently
+            # unreachable for this model.  Fail the request rather
+            # than wedging the whole queue behind it.
+            inst = self._inst
+            request = self._request
+            inst.fetch_aborts += 1
+            if request.kv is not None:
+                inst.engine.kv.abort_request(request.kv)
+                request.kv = None
+            request.reset_progress()
+            if inst.on_failed is not None:
+                inst.on_failed(request)
+            self._request = None
+            self._spec = None
+            inst._inflight = None
+            return self._main()
+        raise exc
 
 
 class DecodeInstance:
@@ -290,7 +388,7 @@ class DecodeInstance:
             scope.gauge("queued_requests").set_fn(
                 lambda: sum(batch.size for batch in self.work_list)
             )
-        self.process = env.process(self._run())
+        self.process = _DecodeTask(env, self)
 
     @property
     def qmax(self) -> float:
@@ -348,114 +446,6 @@ class DecodeInstance:
             self.process.interrupt("instance failure")
         return orphans
 
-    # -- main loop -------------------------------------------------------------
-    def _run(self) -> Generator:
-        try:
-            while True:
-                self._prune()
-                if not self.work_list:
-                    yield from self._sleep()
-                    continue
-                yield from self._round()
-        except Interrupt:
-            return  # instance failure: fail() already harvested state
-
-    def _sleep(self) -> Generator:
-        self._wake = self.env.event()
-        if not self.work_list:
-            yield self._wake
-        self._wake = None
-
-    def _round(self) -> Generator:
-        """One full rotation of the work list (Algorithm 2, lines 4-11)."""
-        self.rounds += 1
-        self._round_counter.inc()
-        reordered = self.turn_policy.order(self.work_list)
-        if reordered is not self.work_list:
-            self.work_list[:] = reordered
-        batches = list(self.work_list)
-        engine = self.engine
-        if len(batches) >= 4:
-            # Vectorized Eq. 6 for the whole round: one numpy pass per
-            # distinct model, scattered back into work-list order.
-            step_times = [0.0] * len(batches)
-            by_spec: dict[str, list[int]] = {}
-            for index, batch in enumerate(batches):
-                by_spec.setdefault(batch.spec.name, []).append(index)
-            for indices in by_spec.values():
-                spec = batches[indices[0]].spec
-                times = engine.decode_time_batch(
-                    spec,
-                    [batches[i].size or 1 for i in indices],
-                    [batches[i].context_tokens or 1 for i in indices],
-                ).tolist()
-                for i, value in zip(indices, times):
-                    step_times[i] = value
-        else:
-            step_times = [
-                engine.decode_step_time(
-                    batch.spec, batch.size or 1, batch.context_tokens or 1
-                )
-                for batch in batches
-            ]
-        switch_cost = self._round_switch_cost(batches)
-        quotas = self.turn_policy.quotas(batches, step_times, switch_cost, self.slo)
-        tracer = self._tracer
-        if tracer.enabled:
-            with tracer.span(
-                "decode_round", cat="sched", track=self.name, batches=len(batches)
-            ):
-                yield from self._run_turns(batches, quotas)
-        else:
-            yield from self._run_turns(batches, quotas)
-        self._prune()
-
-    def _run_turns(self, batches: list[DecodeBatch], quotas: list[float]) -> Generator:
-        tracer = self._tracer
-        for index, (batch, quota) in enumerate(zip(batches, quotas)):
-            if batch.exhausted:
-                continue
-            self.turns += 1
-            self._turn_counter.inc()
-            if tracer.enabled:
-                with tracer.span(
-                    "decode_turn", cat="sched", track=self.name,
-                    model=batch.spec.name, quota=quota, batch=batch.size,
-                ):
-                    yield from self._turn(batches, index, batch, quota)
-            else:
-                yield from self._turn(batches, index, batch, quota)
-
-    def _turn(
-        self, batches: list[DecodeBatch], index: int, batch: DecodeBatch, quota: float
-    ) -> Generator:
-        """One weighted turn: scale, swap in, decode, swap out."""
-        engine = self.engine
-        if self.scaling.should_switch(engine, batch.spec):
-            current = engine.current_model
-            policy_event(
-                self._tracer, "scale", instance=self.name, phase="decode",
-                model=batch.spec.name,
-                evicted=None if current is None else current.name,
-            )
-            try:
-                yield from engine.scale_to(batch.spec)
-            except CheckpointFetchError:
-                # Persistently unreachable checkpoint: fail this model's
-                # batch instead of wedging the rotation behind it.
-                self.fetch_aborts += 1
-                self._abort_batch(batch)
-                return
-        self._prefetch_after(batch)
-        yield from self._swap_in_batch(batch)
-        # Figure 10's overlap: while this turn decodes, the *next*
-        # batch's KV streams in on the kv_in stream, guarded by
-        # per-request events — by its turn, rule ❶ is already met.
-        self._issue_swap_in_async(batches, index)
-        yield from self._decode_for(batch, quota)
-        if self._distinct_models() > 1:
-            yield from self._swap_out_batch(batch)
-
     def _issue_swap_in_async(self, batches: list[DecodeBatch], index: int) -> None:
         """Start the next non-empty batch's KV swap-in without waiting."""
         for other in batches[index + 1 :]:
@@ -488,104 +478,6 @@ class DecodeInstance:
                 self.engine.prefetch(other.spec)
                 return
 
-    def _swap_in_batch(self, batch: DecodeBatch) -> Generator:
-        for request in list(batch.requests):
-            if request.kv is not None and request.kv.location == "cpu":
-                while True:
-                    try:
-                        self.engine.kv.swap_in(request.kv)
-                        break
-                    except MemoryError:
-                        yield self.env.timeout(self._alloc_retry_delay)
-        if not self.engine.config.fine_grained_sync:
-            yield from self.engine.kv.drain()
-
-    def _swap_out_batch(self, batch: DecodeBatch) -> Generator:
-        for request in batch.requests:
-            if request.kv is not None and request.kv.location == "gpu":
-                while True:
-                    try:
-                        self.engine.kv.swap_out(request.kv)
-                        break
-                    except MemoryError:
-                        yield self.env.timeout(self._alloc_retry_delay)
-        if not self.engine.config.fine_grained_sync:
-            yield from self.engine.kv.drain()
-
-    def _decode_for(self, batch: DecodeBatch, quota: float) -> Generator:
-        """Decode ``batch`` for up to ``quota`` seconds (one turn)."""
-        env = self.env
-        engine = self.engine
-        turn_start = env.now
-        while env.now - turn_start < quota and not batch.exhausted:
-            # Requests that joined the batch mid-round still sit in the
-            # CPU cache; pull them in so they decode within this turn.
-            for r in batch.requests:
-                kv = r.kv
-                if kv is not None and kv.location == "cpu":
-                    yield from self._swap_in_batch(batch)
-                    break
-            # One pass gathers the ready set plus the context total and
-            # the minimum remaining tokens it implies — this loop runs
-            # once per decode chunk across every running batch, so it
-            # reads the flattened request fields directly.
-            ready = []
-            context_total = 0
-            min_remaining = 0
-            for r in batch.requests:
-                kv = r.kv
-                if kv is not None and kv.ready_on_gpu():
-                    ready.append(r)
-                    generated = r.generated_tokens
-                    context_total += r.input_tokens + generated
-                    remaining = r.output_tokens - generated
-                    if remaining < min_remaining or len(ready) == 1:
-                        min_remaining = remaining
-            if not ready:
-                yield from self._wait_for_any_transfer(batch)
-                continue
-            step = engine.decode_step_time(batch.spec, len(ready), context_total)
-            remaining_time = quota - (env.now - turn_start)
-            steps = max(1, min(
-                DECODE_CHUNK_STEPS,
-                int(remaining_time // step) if step > 0 else DECODE_CHUNK_STEPS,
-                min_remaining,
-            ))
-            chunk_start = env.now
-            yield from engine.decode_for(batch.spec, steps * step)
-            # One timestamp list shared across the batch: record_tokens
-            # copies via extend(), so the shared list is never aliased.
-            times = [chunk_start + (i + 1) * step for i in range(steps)]
-            chunk_time = steps * step
-            gpu_cache = engine.gpu_kv_cache
-            for request in ready:
-                request.record_tokens(times)
-                request.decode_exec_time += chunk_time
-                try:
-                    request.kv.grow(steps, gpu_cache)
-                except MemoryError:
-                    # Cache pressure: demote this request until space frees.
-                    engine.kv.swap_out(request.kv)
-            self._retire_finished(batch)
-
-    def _wait_for_any_transfer(self, batch: DecodeBatch) -> Generator:
-        """Rule ❶ stall: no request's KV is usable yet."""
-        pending = [
-            r.kv.last_transfer.wait()
-            for r in batch.requests
-            if r.kv is not None and r.kv.last_transfer is not None
-            and not r.kv.last_transfer.query()
-        ]
-        start = self.env.now
-        if pending:
-            yield self.env.any_of(pending)
-        else:
-            yield self.env.timeout(self._alloc_retry_delay)
-        if batch.requests:
-            self.engine.kv.stats.charge_wait(
-                batch.requests[0].request_id, self.env.now - start
-            )
-
     def _abort_batch(self, batch: DecodeBatch) -> None:
         """Fail every request in ``batch`` (checkpoint unreachable)."""
         for request in list(batch.requests):
@@ -615,3 +507,422 @@ class DecodeInstance:
     def _prune(self) -> None:
         if any(b.exhausted for b in self.work_list):
             self.work_list[:] = [b for b in self.work_list if not b.exhausted]
+
+
+class _DecodeTask(ContTask):
+    """Algorithm 2's execution loop as a continuation state machine.
+
+    The round/turn/chunk nesting of the old generator loop becomes flat
+    state functions; the per-chunk decode timeout — the single hottest
+    wake in the whole simulation — resumes directly into
+    :meth:`_chunk_done` instead of unwinding four generator frames.
+    Swap-in scans snapshot ``batch.requests`` while swap-out scans the
+    live list by position, exactly like the ``for`` loops they replace
+    (a Python list iterator is itself position-based), and each retry
+    re-attempts the same request without re-checking its location.
+    """
+
+    __slots__ = (
+        "_inst", "_batches", "_quotas", "_turn_index", "_cur_index",
+        "_batch", "_quota", "_turn_start", "_round_span", "_turn_span",
+        "_ready", "_chunk_steps", "_chunk_step", "_chunk_start",
+        "_duration", "_stall_start", "_swap_list", "_swap_pos",
+        "_swap_req", "_swap_cont",
+    )
+
+    def __init__(self, env: Environment, inst: "DecodeInstance") -> None:
+        self._inst = inst
+        self._batches = None
+        self._quotas = None
+        self._turn_index = 0
+        self._cur_index = 0
+        self._batch = None
+        self._quota = 0.0
+        self._turn_start = 0.0
+        self._round_span = None
+        self._turn_span = None
+        self._ready = None
+        self._chunk_steps = 0
+        self._chunk_step = 0.0
+        self._chunk_start = 0.0
+        self._duration = 0.0
+        self._stall_start = 0.0
+        self._swap_list = None
+        self._swap_pos = 0
+        self._swap_req = None
+        self._swap_cont = None
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._main()
+
+    def _main(self) -> Event:
+        inst = self._inst
+        inst._prune()
+        if not inst.work_list:
+            inst._wake = self.env.event()
+            self._send = self._woken
+            return inst._wake
+        return self._round_begin()
+
+    def _woken(self, value: object) -> Event:
+        self._inst._wake = None
+        return self._main()
+
+    # -- one full rotation of the work list (Algorithm 2, lines 4-11) ------
+    def _round_begin(self) -> Event:
+        inst = self._inst
+        inst.rounds += 1
+        inst._round_counter.inc()
+        reordered = inst.turn_policy.order(inst.work_list)
+        if reordered is not inst.work_list:
+            inst.work_list[:] = reordered
+        batches = list(inst.work_list)
+        engine = inst.engine
+        if len(batches) >= 4:
+            # Vectorized Eq. 6 for the whole round: one numpy pass per
+            # distinct model, scattered back into work-list order.
+            step_times = [0.0] * len(batches)
+            by_spec: dict[str, list[int]] = {}
+            for index, batch in enumerate(batches):
+                by_spec.setdefault(batch.spec.name, []).append(index)
+            for indices in by_spec.values():
+                spec = batches[indices[0]].spec
+                times = engine.decode_time_batch(
+                    spec,
+                    [batches[i].size or 1 for i in indices],
+                    [batches[i].context_tokens or 1 for i in indices],
+                ).tolist()
+                for i, value in zip(indices, times):
+                    step_times[i] = value
+        else:
+            step_times = [
+                engine.decode_step_time(
+                    batch.spec, batch.size or 1, batch.context_tokens or 1
+                )
+                for batch in batches
+            ]
+        switch_cost = inst._round_switch_cost(batches)
+        quotas = inst.turn_policy.quotas(batches, step_times, switch_cost, inst.slo)
+        tracer = inst._tracer
+        if tracer.enabled:
+            self._round_span = tracer.span(
+                "decode_round", cat="sched", track=inst.name, batches=len(batches)
+            )
+            self._round_span.__enter__()
+        self._batches = batches
+        self._quotas = quotas
+        self._turn_index = 0
+        return self._next_turn()
+
+    def _next_turn(self) -> Event:
+        inst = self._inst
+        batches = self._batches
+        quotas = self._quotas
+        index = self._turn_index
+        count = min(len(batches), len(quotas))  # zip() semantics
+        while index < count:
+            batch = batches[index]
+            quota = quotas[index]
+            self._turn_index = index + 1
+            if batch.exhausted:
+                index += 1
+                continue
+            inst.turns += 1
+            inst._turn_counter.inc()
+            tracer = inst._tracer
+            if tracer.enabled:
+                self._turn_span = tracer.span(
+                    "decode_turn", cat="sched", track=inst.name,
+                    model=batch.spec.name, quota=quota, batch=batch.size,
+                )
+                self._turn_span.__enter__()
+            self._cur_index = index
+            self._batch = batch
+            self._quota = quota
+            return self._turn_begin()
+        self._close_round_span()
+        self._batches = None
+        self._quotas = None
+        inst._prune()
+        return self._main()
+
+    # -- one weighted turn: scale, swap in, decode, swap out ---------------
+    def _turn_begin(self) -> Event:
+        inst = self._inst
+        engine = inst.engine
+        batch = self._batch
+        if inst.scaling.should_switch(engine, batch.spec):
+            current = engine.current_model
+            policy_event(
+                inst._tracer, "scale", instance=inst.name, phase="decode",
+                model=batch.spec.name,
+                evicted=None if current is None else current.name,
+            )
+            return self._run_gen(
+                engine.scale_to(batch.spec), self._after_scale, self._scale_failed
+            )
+        return self._after_scale(None)
+
+    def _scale_failed(self, exc: BaseException) -> Event:
+        if isinstance(exc, CheckpointFetchError):
+            # Persistently unreachable checkpoint: fail this model's
+            # batch instead of wedging the rotation behind it.
+            inst = self._inst
+            inst.fetch_aborts += 1
+            inst._abort_batch(self._batch)
+            return self._end_turn()
+        return self._on_throw(exc)
+
+    def _after_scale(self, value: object) -> Event:
+        inst = self._inst
+        inst._prefetch_after(self._batch)
+        return self._swap_in_start(self._after_swap_in)
+
+    def _after_swap_in(self, value: object) -> Event:
+        # Figure 10's overlap: while this turn decodes, the *next*
+        # batch's KV streams in on the kv_in stream, guarded by
+        # per-request events — by its turn, rule ❶ is already met.
+        self._inst._issue_swap_in_async(self._batches, self._cur_index)
+        self._turn_start = self.env.now
+        return self._chunk_loop()
+
+    # -- the decode chunk loop (old _decode_for) ---------------------------
+    def _chunk_loop(self) -> Event:
+        env = self.env
+        inst = self._inst
+        engine = inst.engine
+        batch = self._batch
+        quota = self._quota
+        while env.now - self._turn_start < quota and not batch.exhausted:
+            # One pass: requests that joined the batch mid-round still
+            # sit in the CPU cache and must be pulled in before the turn
+            # decodes (gathering is side-effect free, so bailing out
+            # mid-scan is equivalent to the old separate cpu-scan); the
+            # same pass gathers the ready set (rule ❶, inlined
+            # ``ready_on_gpu``) plus the context total and the minimum
+            # remaining tokens it implies.  This loop runs once per
+            # decode chunk across every running batch.
+            ready = []
+            ready_append = ready.append
+            context_total = 0
+            min_remaining = 0
+            for r in batch.requests:
+                kv = r.kv
+                if kv is None:
+                    continue
+                location = kv.location
+                if location == "cpu":
+                    return self._swap_in_start(self._chunk_resume)
+                if location == "gpu":
+                    transfer = kv.last_transfer
+                    if (
+                        transfer is None
+                        or transfer.completed_at is not None
+                        or not transfer.recorded
+                    ):
+                        ready_append(r)
+                        generated = r.generated_tokens
+                        context_total += r.input_tokens + generated
+                        remaining = r.output_tokens - generated
+                        if remaining < min_remaining or len(ready) == 1:
+                            min_remaining = remaining
+            if not ready:
+                return self._stall_begin()
+            step = engine.decode_step_time(batch.spec, len(ready), context_total)
+            remaining_time = quota - (env.now - self._turn_start)
+            steps = max(1, min(
+                DECODE_CHUNK_STEPS,
+                int(remaining_time // step) if step > 0 else DECODE_CHUNK_STEPS,
+                min_remaining,
+            ))
+            self._ready = ready
+            self._chunk_step = step
+            self._chunk_steps = steps
+            self._chunk_start = env.now
+            duration = steps * step
+            if engine._tracer.enabled:
+                return self._run_gen(
+                    engine.decode_for(batch.spec, duration), self._chunk_done
+                )
+            # Tracer off: the chunk is one timeout; skip the engine's
+            # generator frame (same event, same busy accounting).
+            engine._require_active(batch.spec)
+            self._duration = duration
+            self._send = self._chunk_done_fast
+            return env.timeout(duration)
+        return self._after_decode()
+
+    def _chunk_resume(self, value: object) -> Event:
+        return self._chunk_loop()
+
+    def _chunk_done_fast(self, value: object) -> Event:
+        self._inst.engine.busy_time += self._duration
+        return self._chunk_done(None)
+
+    def _chunk_done(self, value: object) -> Event:
+        inst = self._inst
+        engine = inst.engine
+        steps = self._chunk_steps
+        step = self._chunk_step
+        chunk_start = self._chunk_start
+        # One timestamp list shared across the batch: record_tokens
+        # copies via extend(), so the shared list is never aliased.
+        times = [chunk_start + (i + 1) * step for i in range(steps)]
+        chunk_time = steps * step
+        gpu_cache = engine.gpu_kv_cache
+        for request in self._ready:
+            request.record_tokens(times)
+            request.decode_exec_time += chunk_time
+            try:
+                request.kv.grow(steps, gpu_cache)
+            except MemoryError:
+                # Cache pressure: demote this request until space frees.
+                engine.kv.swap_out(request.kv)
+        self._ready = None
+        inst._retire_finished(self._batch)
+        return self._chunk_loop()
+
+    def _stall_begin(self) -> Event:
+        """Rule ❶ stall: no request's KV is usable yet."""
+        inst = self._inst
+        batch = self._batch
+        pending = [
+            r.kv.last_transfer.wait()
+            for r in batch.requests
+            if r.kv is not None and r.kv.last_transfer is not None
+            and not r.kv.last_transfer.query()
+        ]
+        self._stall_start = self.env.now
+        self._send = self._stall_done
+        if pending:
+            return self.env.any_of(pending)
+        return self.env.timeout(inst._alloc_retry_delay)
+
+    def _stall_done(self, value: object) -> Event:
+        inst = self._inst
+        batch = self._batch
+        if batch.requests:
+            inst.engine.kv.stats.charge_wait(
+                batch.requests[0].request_id, self.env.now - self._stall_start
+            )
+        return self._chunk_loop()
+
+    def _after_decode(self) -> Event:
+        inst = self._inst
+        if inst._distinct_models() > 1:
+            return self._swap_out_start(self._end_turn_cb)
+        return self._end_turn()
+
+    def _end_turn_cb(self, value: object) -> Event:
+        return self._end_turn()
+
+    def _end_turn(self) -> Event:
+        self._close_turn_span()
+        self._batch = None
+        return self._next_turn()
+
+    # -- swap-in over a snapshot of batch.requests -------------------------
+    def _swap_in_start(self, cont: Callable[[object], Event]) -> Event:
+        self._swap_list = list(self._batch.requests)
+        self._swap_pos = 0
+        self._swap_cont = cont
+        return self._swap_in_step()
+
+    def _swap_in_step(self) -> Event:
+        inst = self._inst
+        lst = self._swap_list
+        pos = self._swap_pos
+        while pos < len(lst):
+            request = lst[pos]
+            kv = request.kv
+            if kv is not None and kv.location == "cpu":
+                try:
+                    inst.engine.kv.swap_in(kv)
+                except MemoryError:
+                    self._swap_pos = pos
+                    self._swap_req = request
+                    self._send = self._swap_in_retry
+                    return self.env.timeout(inst._alloc_retry_delay)
+            pos += 1
+        self._swap_list = None
+        if not inst.engine.config.fine_grained_sync:
+            cont = self._swap_cont
+            self._swap_cont = None
+            return self._run_gen(inst.engine.kv.drain(), cont)
+        cont = self._swap_cont
+        self._swap_cont = None
+        return cont(None)
+
+    def _swap_in_retry(self, value: object) -> Event:
+        inst = self._inst
+        try:
+            inst.engine.kv.swap_in(self._swap_req.kv)
+        except MemoryError:
+            return self.env.timeout(inst._alloc_retry_delay)
+        self._swap_req = None
+        self._swap_pos += 1
+        return self._swap_in_step()
+
+    # -- swap-out over the live batch.requests list ------------------------
+    def _swap_out_start(self, cont: Callable[[object], Event]) -> Event:
+        self._swap_pos = 0
+        self._swap_cont = cont
+        return self._swap_out_step()
+
+    def _swap_out_step(self) -> Event:
+        inst = self._inst
+        lst = self._batch.requests
+        pos = self._swap_pos
+        while pos < len(lst):
+            request = lst[pos]
+            kv = request.kv
+            if kv is not None and kv.location == "gpu":
+                try:
+                    inst.engine.kv.swap_out(kv)
+                except MemoryError:
+                    self._swap_pos = pos
+                    self._swap_req = request
+                    self._send = self._swap_out_retry
+                    return self.env.timeout(inst._alloc_retry_delay)
+            pos += 1
+        if not inst.engine.config.fine_grained_sync:
+            cont = self._swap_cont
+            self._swap_cont = None
+            return self._run_gen(inst.engine.kv.drain(), cont)
+        cont = self._swap_cont
+        self._swap_cont = None
+        return cont(None)
+
+    def _swap_out_retry(self, value: object) -> Event:
+        inst = self._inst
+        try:
+            inst.engine.kv.swap_out(self._swap_req.kv)
+        except MemoryError:
+            return self.env.timeout(inst._alloc_retry_delay)
+        self._swap_req = None
+        self._swap_pos += 1
+        return self._swap_out_step()
+
+    # -- unwinding ---------------------------------------------------------
+    def _close_turn_span(self) -> None:
+        span = self._turn_span
+        if span is not None:
+            self._turn_span = None
+            span.__exit__(None, None, None)
+
+    def _close_round_span(self) -> None:
+        span = self._round_span
+        if span is not None:
+            self._round_span = None
+            span.__exit__(None, None, None)
+
+    def _on_throw(self, exc: BaseException) -> Event:
+        # Mirrors the with-block unwinding of the generator loop: open
+        # spans close innermost-first, then the loop exits quietly on
+        # instance failure or crashes the task like the old process.
+        self._close_turn_span()
+        self._close_round_span()
+        if isinstance(exc, Interrupt):
+            raise StopIteration(None)
+        raise exc

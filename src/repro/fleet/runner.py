@@ -28,7 +28,7 @@ from ..core.serving import SystemSpec
 from ..envkeys import warn_unknown_env_keys
 from ..obs import ObsConfig, Observability
 from ..policy.placement import MARKET_HOURLY_USD
-from ..sim import Environment
+from ..sim import ContTask, Environment, Event
 from .controller import ControllerConfig, FleetController
 from .partition import CatalogPartitioner
 from .rollup import FleetRollup, ShardStats
@@ -296,25 +296,6 @@ class FleetRunner:
 
                 shard.system.request_sink = sink
 
-    # -- the data path -------------------------------------------------------
-    def _pump(self, stream):
-        """Process: route the global stream, shard by model ownership."""
-        env = self.env
-        shard_of = self.partitioner.shard_of
-        shards = self.shards
-        spec_of = stream.spec_of
-        controller = self.controller
-        for trace_request in stream:
-            delay = trace_request.arrival - env.now
-            if delay > 0:
-                yield env.timeout(delay)
-            shard = shards[shard_of(trace_request.model)]
-            shard.system.submit(trace_request, spec_of(trace_request.model))
-            self.submitted += 1
-            if controller is not None:
-                controller.note_arrival(trace_request.model)
-        self._all_submitted = True
-
     def run(self, stream, until: Optional[float] = None) -> FleetResult:
         """Replay ``stream`` across the fleet to completion or deadline."""
         assignment = self.partitioner.assign(stream.models)
@@ -330,29 +311,11 @@ class FleetRunner:
         if self.controller is not None:
             self.controller.bind_stream(stream)
             self.controller.start()
-        self.env.process(self._pump(stream))
+        _PumpTask(self.env, self, stream)
         deadline = (
             until if until is not None else stream.horizon + self.config.drain_grace
         )
-
-        def pending() -> int:
-            # Every spill adds one extra terminal disposition beyond the
-            # pump's count: the spilling shard folds it as ``spilled``
-            # and the target shard disposes the re-submission.
-            spills = self.controller.spills if self.controller is not None else 0
-            return self.submitted + spills
-
-        def watchdog():
-            while not (
-                self._all_submitted
-                and self._disposed() >= pending()
-                and self._drained()
-            ):
-                if self.env.now >= deadline:
-                    return
-                yield self.env.timeout(1.0)
-
-        self.env.run(until=self.env.process(watchdog()))
+        self.env.run(until=_WatchdogTask(self.env, self, deadline))
         for shard in self.shards:
             checker = shard.system.invariant_checker
             if checker is not None:
@@ -396,6 +359,96 @@ class FleetRunner:
                 self.sessions.summary() if self.sessions is not None else None
             ),
         )
+
+
+class _PumpTask(ContTask):
+    """The streaming pump as a continuation state machine.
+
+    Routes the global stream, shard by model ownership.  The owning
+    shard is resolved *after* each arrival wait — a live migration may
+    have moved the model while the pump slept — exactly as the generator
+    pump did.
+    """
+
+    __slots__ = ("_runner", "_iter", "_pending_request", "_shard_of", "_spec_of")
+
+    def __init__(self, env: Environment, runner: FleetRunner, stream) -> None:
+        self._runner = runner
+        self._iter = iter(stream)
+        self._pending_request = None
+        self._shard_of = runner.partitioner.shard_of
+        self._spec_of = stream.spec_of
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._loop()
+
+    def _loop(self) -> Event:
+        env = self.env
+        runner = self._runner
+        stream_iter = self._iter
+        while True:
+            try:
+                trace_request = next(stream_iter)
+            except StopIteration:
+                runner._all_submitted = True
+                raise StopIteration(None) from None
+            delay = trace_request.arrival - env.now
+            if delay > 0:
+                self._pending_request = trace_request
+                self._send = self._arrived
+                return env.timeout(delay)
+            self._submit(trace_request)
+
+    def _arrived(self, value: object) -> Event:
+        trace_request = self._pending_request
+        self._pending_request = None
+        self._submit(trace_request)
+        return self._loop()
+
+    def _submit(self, trace_request) -> None:
+        runner = self._runner
+        shard = runner.shards[self._shard_of(trace_request.model)]
+        shard.system.submit(trace_request, self._spec_of(trace_request.model))
+        runner.submitted += 1
+        if runner.controller is not None:
+            runner.controller.note_arrival(trace_request.model)
+
+
+class _WatchdogTask(ContTask):
+    """The drain watchdog: polls the conservation identity once a second.
+
+    Terminates (firing as an event, ending ``env.run``) when every
+    pumped request plus every controller spill has a terminal
+    disposition and all drain hooks report empty — or at the deadline.
+    """
+
+    __slots__ = ("_runner", "_deadline")
+
+    def __init__(self, env: Environment, runner: FleetRunner, deadline: float) -> None:
+        self._runner = runner
+        self._deadline = deadline
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        self._send = self._tick
+        return self._tick(value)
+
+    def _tick(self, value: object) -> Event:
+        runner = self._runner
+        # Every spill adds one extra terminal disposition beyond the
+        # pump's count: the spilling shard folds it as ``spilled``
+        # and the target shard disposes the re-submission.
+        spills = runner.controller.spills if runner.controller is not None else 0
+        if (
+            runner._all_submitted
+            and runner._disposed() >= runner.submitted + spills
+            and runner._drained()
+        ):
+            raise StopIteration(None)
+        if self.env.now >= self._deadline:
+            raise StopIteration(None)
+        return self.env.timeout(1.0)
 
 
 def build_fleet(

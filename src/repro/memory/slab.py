@@ -243,11 +243,39 @@ class SlabAllocator:
             raise MemoryError(
                 f"unified cache cannot hold {count} blocks of {shape!r}"
             )
+        slabs = self._slabs
+        avail = rec.avail
+        if count == 1:
+            # Decode growth allocates one block per chunk per request —
+            # the allocator's single hottest call shape.  Same slab
+            # choice, block choice, and list states as the general path
+            # (front of the availability list, top of the free list,
+            # stale entries dropped on sight), minus its loop scaffolding.
+            while avail:
+                slab_index = avail[0]
+                slab = slabs[slab_index]
+                if slab._avail_shape is not shape:
+                    del avail[0]  # stale: released or reassigned since listed
+                    continue
+                free_list = slab.free_blocks
+                block_index = free_list.pop()
+                slab._used_state[block_index] = 1
+                cache = slab._block_cache
+                block = cache[block_index]
+                if block is None:
+                    block = KvBlock(slab_index, block_index, shape, block_bytes)
+                    cache[block_index] = block
+                slab.used_count += 1
+                if not free_list:
+                    slab._avail_shape = None
+                    del avail[0]
+                rec.free_count -= 1
+                self.blocks_allocated += 1
+                self._blocks_allocated.inc(1)
+                return [block]
         blocks: list[KvBlock] = []
         append = blocks.append
-        slabs = self._slabs
         remaining = count
-        avail = rec.avail
         if avail:
             read = write = 0
             n_avail = len(avail)
@@ -260,9 +288,14 @@ class SlabAllocator:
                 free_list = slab.free_blocks
                 state = slab._used_state
                 cache = slab._block_cache
-                taken = 0
-                while free_list and remaining:
-                    block_index = free_list.pop()
+                # Take the tail of the free list in pop() order, as one
+                # slice instead of per-block pops.
+                n_free = len(free_list)
+                taken = n_free if n_free < remaining else remaining
+                cut = n_free - taken
+                indices = free_list[n_free - 1 :: -1] if cut == 0 else free_list[: cut - 1 : -1]
+                del free_list[cut:]
+                for block_index in indices:
                     state[block_index] = 1
                     block = cache[block_index]
                     if block is None:
@@ -271,8 +304,7 @@ class SlabAllocator:
                         )
                         cache[block_index] = block
                     append(block)
-                    taken += 1
-                    remaining -= 1
+                remaining -= taken
                 slab.used_count += taken
                 if free_list:
                     avail[write] = slab_index
@@ -287,17 +319,19 @@ class SlabAllocator:
             state = slab._used_state
             cache = slab._block_cache
             slab_index = slab.index
-            taken = 0
-            while free_list and remaining:
-                block_index = free_list.pop()
+            n_free = len(free_list)
+            taken = n_free if n_free < remaining else remaining
+            cut = n_free - taken
+            indices = free_list[n_free - 1 :: -1] if cut == 0 else free_list[: cut - 1 : -1]
+            del free_list[cut:]
+            for block_index in indices:
                 state[block_index] = 1
                 block = cache[block_index]
                 if block is None:
                     block = KvBlock(slab_index, block_index, shape, block_bytes)
                     cache[block_index] = block
                 append(block)
-                taken += 1
-                remaining -= 1
+            remaining -= taken
             slab.used_count += taken
             if not free_list:
                 slab._avail_shape = None
@@ -319,7 +353,7 @@ class SlabAllocator:
         slab = None
         slab_index = -1
         run = 0
-        shape = state = free_list = None
+        shape = state = fl_append = None
         for block in blocks:
             index = block.slab_index
             if index != slab_index:
@@ -330,7 +364,7 @@ class SlabAllocator:
                 run = 0
                 shape = slab.shape
                 state = slab._used_state
-                free_list = slab.free_blocks
+                fl_append = slab.free_blocks.append
             if shape is not block.shape and shape != block.shape:
                 raise ValueError(
                     f"block {block.address} shape {block.shape!r} does not "
@@ -340,7 +374,7 @@ class SlabAllocator:
             if not state[block_index]:
                 raise ValueError(f"double free of block {block.address}")
             state[block_index] = 0
-            free_list.append(block_index)
+            fl_append(block_index)
             run += 1
         if run:
             self._finish_free_run(slab, run)

@@ -9,6 +9,7 @@ from .core import (
     AllOf,
     AnyOf,
     Condition,
+    ContTask,
     Environment,
     Event,
     Interrupt,
@@ -23,6 +24,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "ContTask",
     "Container",
     "Environment",
     "Event",

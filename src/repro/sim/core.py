@@ -34,6 +34,20 @@ Hot-path engineering (see DESIGN.md "Performance notes")
   The callbacks list is still there for multi-waiter events, conditions,
   and external subscribers; the waiter always fires first because it is
   only installed when the callbacks list is empty (earliest attachment).
+* **Callback continuations.**  Two first-class alternatives to
+  generator coroutines for the highest-frequency lifecycles:
+  :meth:`Environment.schedule_call` fires a plain function through the
+  existing callbacks dispatch with zero generator/heap-entry overhead
+  beyond the one scheduled event, and :class:`ContTask` is a process
+  whose resume target is a plain bound method (a *state function*)
+  instead of ``generator.send`` — it rides the single-waiter protocol
+  unchanged, so a converted lifecycle consumes exactly the same events,
+  sequence numbers, and firing order as the generator it replaces.
+  Generator processes remain fully supported (chaos injection,
+  sessions, controller ticks, tests); ContTask's ``_run_gen`` bridge
+  drives a cold sub-generator (e.g. a scale-up) event-for-event without
+  spawning a child process.  See DESIGN.md "Kernel fast paths" for when
+  to use which, and the ordering rules both must obey.
 * Every kernel object carries ``__slots__``; there are no instance dicts
   on the event path.
 * :class:`Event`, :class:`Timeout`, and :class:`Process` objects are
@@ -67,6 +81,7 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "ContTask",
     "Condition",
     "AllOf",
     "AnyOf",
@@ -405,6 +420,137 @@ class Process(Event):
         self._target = resume
 
 
+class ContTask(Process):
+    """A process driven by continuation *state functions*, not a generator.
+
+    Subclasses override :meth:`_start` and transition by assigning
+    ``self._send`` before returning the next event to wait on.  Each
+    state function receives the fired event's value and must either
+
+    * return the next :class:`Event` to wait on (after pointing
+      ``self._send`` at the state that should receive its value), or
+    * raise :class:`StopIteration` (optionally with a value) to
+      terminate the task, succeeding it like a returning generator.
+
+    The run loop cannot tell a ContTask from a generator process: the
+    ``_send`` slot it dispatches through is simply a bound state method,
+    and the ``_generator`` slot points back at the task so failed waits
+    arrive via :meth:`throw`.  Construction schedules the same init
+    event as ``env.process``, termination consumes the same ``succeed``
+    schedule, and every wait maps 1:1 onto an event — so converting a
+    lifecycle from a generator to a ContTask is invisible to event
+    counts, sequence numbers, and firing order.  The payoff is the
+    resume itself: one plain method call instead of a ``send`` that
+    re-enters an N-deep ``yield from`` chain.
+
+    Cold multi-wait sub-operations can stay generators: ``_run_gen``
+    drives one *inline* (no child process, no extra events), delegating
+    resumes straight into the sub-generator's frame exactly like
+    ``yield from`` did.
+    """
+
+    __slots__ = ("_gen", "_gen_done", "_gen_err")
+
+    def __init__(self, env: "Environment"):
+        Event.__init__(self, env)
+        self._generator = self
+        self._send = self._start
+        self._target: Optional[Event] = None
+        self._resume_cb = self._resume
+        # Bridged sub-generator state (see _run_gen).
+        self._gen: Optional[Generator] = None
+        self._gen_done: Optional[Callable[[Any], Event]] = None
+        self._gen_err: Optional[Callable[[BaseException], Event]] = None
+        env._schedule_init(self)
+
+    # -- subclass interface ----------------------------------------------
+    def _start(self, value: Any) -> Event:
+        """First state, fired by the init event (``value`` is ``None``)."""
+        raise NotImplementedError
+
+    def _on_throw(self, exc: BaseException) -> Event:
+        """Handle a failed wait outside a bridge (default: let it fail).
+
+        Mirrors an uncaught exception at a ``yield``: re-raising fails
+        the task.  Subclasses override to implement handlers like the
+        instance loops' ``except Interrupt: return``.
+        """
+        raise exc
+
+    # -- generator bridge -------------------------------------------------
+    def _run_gen(
+        self,
+        gen: Generator,
+        done: Callable[[Any], Event],
+        err: Optional[Callable[[BaseException], Event]] = None,
+    ) -> Event:
+        """Drive ``gen`` inline, event-for-event, as ``yield from`` did.
+
+        ``done(result)`` runs when the sub-generator returns; ``err(exc)``
+        when an exception escapes it (after its ``finally``/``with``
+        blocks ran).  Both are state functions: they must set ``_send``
+        and return the next event (or raise StopIteration).  With no
+        ``err``, escaped exceptions route through :meth:`_on_throw`.
+        """
+        try:
+            first = gen.send(None)
+        except StopIteration as stop:
+            return done(stop.value)
+        except BaseException as exc:
+            if err is not None:
+                return err(exc)
+            return self._on_throw(exc)
+        self._gen = gen
+        self._gen_done = done
+        self._gen_err = err
+        self._send = self._gen_step
+        return first
+
+    def _gen_finish(self, value: Any) -> Event:
+        self._gen = None
+        done = self._gen_done
+        self._gen_done = None
+        self._gen_err = None
+        return done(value)
+
+    def _gen_error(self, exc: BaseException) -> Event:
+        self._gen = None
+        err = self._gen_err
+        self._gen_done = None
+        self._gen_err = None
+        if err is not None:
+            return err(exc)
+        return self._on_throw(exc)
+
+    def _gen_step(self, value: Any) -> Event:
+        try:
+            return self._gen.send(value)
+        except StopIteration as stop:
+            return self._gen_finish(stop.value)
+        except BaseException as exc:
+            return self._gen_error(exc)
+
+    # -- kernel interface --------------------------------------------------
+    def throw(self, exc: BaseException) -> Event:
+        """Dispatch a failed wait (the ``_generator.throw`` protocol).
+
+        While bridging, the exception is thrown into the sub-generator
+        frame first so its cleanup runs — identical to the interrupt
+        unwinding through a ``yield from`` chain; whatever escapes is
+        routed like any other bridge error.  Outside a bridge, plain
+        states delegate to :meth:`_on_throw`.
+        """
+        gen = self._gen
+        if gen is not None:
+            try:
+                return gen.throw(exc)
+            except StopIteration as stop:
+                return self._gen_finish(stop.value)
+            except BaseException as chained:
+                return self._gen_error(chained)
+        return self._on_throw(exc)
+
+
 def _all_fired(events: list[Event], count: int) -> bool:
     """Evaluate for :class:`AllOf`: every sub-event has fired."""
     return count == len(events)
@@ -603,6 +749,47 @@ def _make_process_factory(env: "Environment"):
     return process
 
 
+def _make_schedule_call_factory(env: "Environment"):
+    """Build the bound ``env.schedule_call`` closure."""
+
+    def schedule_call(
+        fn: Callable[[Event], None],
+        delay: float = 0.0,
+        value: Any = None,
+        _env=env,
+        _pool=env._event_pool,
+        _queue=env._queue,
+        _push=heappush,
+    ) -> Event:
+        """Schedule plain function ``fn(event)`` to fire after ``delay``.
+
+        The cheapest event source in the kernel: one pooled, already-
+        triggered event whose callbacks list carries ``fn`` — no
+        generator frame, no waiter hand-off, no process bookkeeping.
+        It fires in the same (time, seq) order a Timeout scheduled at
+        the same instant would, drains inside the batched
+        same-timestamp tick like every other event, and is recycled as
+        soon as it has fired (do not keep triggering references to it).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative schedule_call delay: {delay}")
+        if _pool:
+            # Pooled events keep _state == _TRIGGERED and _ok == True.
+            event = _pool.pop()
+        else:
+            event = Event(_env)
+            event._state = _TRIGGERED
+        if value is not None:
+            event._value = value
+        event.callbacks.append(fn)
+        seq = _env._sequence
+        _push(_queue, (_env._now + delay, seq, event))
+        _env._sequence = seq + 1
+        return event
+
+    return schedule_call
+
+
 class Environment:
     """The simulation environment: clock plus event queue."""
 
@@ -623,6 +810,7 @@ class Environment:
         "event",
         "timeout",
         "process",
+        "schedule_call",
     )
 
     def __init__(self, initial_time: float = 0.0):
@@ -650,6 +838,7 @@ class Environment:
         self.event = _make_event_factory(self)
         self.timeout = _make_timeout_factory(self)
         self.process = _make_process_factory(self)
+        self.schedule_call = _make_schedule_call_factory(self)
 
     @property
     def now(self) -> float:

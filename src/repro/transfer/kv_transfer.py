@@ -26,7 +26,7 @@ from typing import Generator, Optional
 from ..memory.slab import KvBlock, SlabAllocator
 from ..models.kv import DEFAULT_BLOCK_TOKENS, KvShape
 from ..obs import NULL_OBS, Observability
-from ..sim import Environment, Event
+from ..sim import ContTask, Environment, Event
 from ..hardware.interconnect import DuplexLink
 from .streams import CudaEvent, CudaStream
 
@@ -104,12 +104,17 @@ class MoveList:
         """Free blocks whose transfers completed; returns blocks freed."""
         freed = 0
         remaining = []
-        for blocks, event in self.entries:
-            if event.query():
+        keep = remaining.append
+        for entry in self.entries:
+            event = entry[1]
+            # Inline CudaEvent.query(): this poll runs for every pending
+            # entry on every daemon tick.
+            if event.completed_at is not None or not event.recorded:
+                blocks = entry[0]
                 cpu_cache.free(blocks)
                 freed += len(blocks)
             else:
-                remaining.append((blocks, event))
+                keep(entry)
         self.entries = remaining
         return freed
 
@@ -184,7 +189,7 @@ class KvTransferManager:
             scope.gauge("move_list_blocks").set_fn(
                 lambda: self.move_list.pending_blocks
             )
-        env.process(self._reclaim_daemon())
+        _ReclaimDaemon(env, self)
 
     # -- allocation on the GPU ------------------------------------------------
     def alloc_gpu(self, kv: RequestKv) -> None:
@@ -351,30 +356,55 @@ class KvTransferManager:
         if wake is not None and not wake.triggered:
             wake.succeed()
 
-    def _reclaim_daemon(self) -> Generator:
-        """Reclaim move-list blocks while any are in flight (Fig. 10, step ⑧).
 
-        Reclamation happens on a fixed ``daemon_interval`` tick grid, but
-        the daemon sleeps on a wake event whenever the move list is empty
-        instead of polling forever — the idle-polling version dominated
-        the whole simulation's event count.  When woken it re-aligns to
-        the grid, so blocks are freed at the same instants the
-        always-polling daemon would have freed them.
-        """
-        env = self.env
-        interval = self._daemon_interval
-        while True:
-            if not self.move_list.entries:
-                self._daemon_wake = env.event()
-                yield self._daemon_wake
-                self._daemon_wake = None
-                # First check happens at the next grid tick strictly
-                # after the add (the add loses same-instant ties to the
-                # daemon's already-queued timeout, so "strictly after").
-                remainder = env.now % interval
-                yield env.timeout(interval - remainder if remainder > 0.0 else interval)
-            else:
-                yield env.timeout(interval)
-            freed = self.move_list.reclaim(self.cpu_cache)
-            if freed:
-                self.stats.charge_control(1)
+class _ReclaimDaemon(ContTask):
+    """Reclaim move-list blocks while any are in flight (Fig. 10, step ⑧).
+
+    Reclamation happens on a fixed ``daemon_interval`` tick grid, but the
+    daemon parks on a wake event whenever the move list is empty instead
+    of polling forever — the idle-polling version dominated the whole
+    simulation's event count.  When woken it re-aligns to the grid, so
+    blocks are freed at the same instants the always-polling daemon would
+    have freed them.
+
+    Continuation state machine: ``_park_or_tick`` either parks on a fresh
+    wake event (move list empty) or arms a grid timeout; ``_woken``
+    re-aligns to the next grid tick strictly after the add (the add loses
+    same-instant ties to an already-queued timeout, hence "strictly
+    after"); ``_tick`` reclaims and loops.
+    """
+
+    __slots__ = ("_mgr",)
+
+    def __init__(self, env: Environment, mgr: "KvTransferManager") -> None:
+        self._mgr = mgr
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._park_or_tick()
+
+    def _park_or_tick(self) -> Event:
+        mgr = self._mgr
+        if not mgr.move_list.entries:
+            mgr._daemon_wake = self.env.event()
+            self._send = self._woken
+            return mgr._daemon_wake
+        self._send = self._tick
+        return self.env.timeout(mgr._daemon_interval)
+
+    def _woken(self, value: object) -> Event:
+        mgr = self._mgr
+        mgr._daemon_wake = None
+        interval = mgr._daemon_interval
+        remainder = self.env.now % interval
+        self._send = self._tick
+        return self.env.timeout(
+            interval - remainder if remainder > 0.0 else interval
+        )
+
+    def _tick(self, value: object) -> Event:
+        mgr = self._mgr
+        freed = mgr.move_list.reclaim(mgr.cpu_cache)
+        if freed:
+            mgr.stats.charge_control(1)
+        return self._park_or_tick()

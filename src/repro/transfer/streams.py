@@ -21,11 +21,11 @@ and why the prefetch stream can hide, but not accelerate, transfers.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Generator, Optional
+from typing import Callable, Optional
 
 from ..hardware.interconnect import Link
 from ..obs import NULL_OBS, Observability
-from ..sim import Environment, Event, Store
+from ..sim import ContTask, Environment, Event, Store
 
 __all__ = ["CudaEvent", "CudaStream", "synchronize_all"]
 
@@ -90,7 +90,7 @@ class CudaEvent:
 
 
 class CudaStream:
-    """An in-order work queue executed by a dedicated simulation process."""
+    """An in-order work queue executed by a dedicated continuation task."""
 
     def __init__(
         self, env: Environment, name: str = "stream", obs: Observability = NULL_OBS
@@ -103,7 +103,7 @@ class CudaStream:
         self._depth = 0
         self.ops_executed = 0
         self._tracer = obs.tracer
-        env.process(self._worker())
+        _StreamWorker(env, self)
 
     # -- enqueue API --------------------------------------------------------
     def copy(
@@ -145,44 +145,138 @@ class CudaStream:
         self._depth += 1
         self._ops.put(op)
 
-    def _worker(self) -> Generator:
-        while True:
-            op = yield self._ops.get()
-            kind = op[0]
-            if kind == "copy":
-                _, link, nbytes, on_done = op
-                start = self.env.now
-                # Run the transfer inline (no child process): the worker is
-                # already a dedicated in-order lane, so delegating into the
-                # link's generator preserves FIFO semantics while skipping
-                # a process spawn + completion event per copy.
-                yield from link.transfer(nbytes)
-                if self._tracer.enabled:
-                    self._tracer.complete(
-                        "copy", cat="stream", track=self.name,
-                        start=start, end=self.env.now, nbytes=nbytes,
-                    )
-                if on_done is not None:
-                    on_done()
-            elif kind == "compute":
-                _, duration, on_done = op
-                start = self.env.now
-                yield self.env.timeout(duration)
-                if self._tracer.enabled:
-                    self._tracer.complete(
-                        "compute", cat="stream", track=self.name,
-                        start=start, end=self.env.now,
-                    )
-                if on_done is not None:
-                    on_done()
-            elif kind == "record":
-                op[1]._complete()
-            elif kind == "wait_event":
-                yield op[1].wait()
-            else:  # pragma: no cover - construction is internal
-                raise AssertionError(f"unknown stream op {kind!r}")
-            self._depth -= 1
-            self.ops_executed += 1
+
+class _StreamWorker(ContTask):
+    """The in-order lane driver, flattened into a continuation machine.
+
+    Each loop iteration of the old generator worker paid a
+    ``generator.send`` round-trip per event; the state machine fires the
+    next state function directly from the kernel's single-waiter slot.
+    The copy path also inlines :meth:`Link.transfer` (the worker is a
+    dedicated lane, so FIFO semantics are preserved), keeping the exact
+    event sequence of the delegated generator: uncontended copies hold
+    the channel with a plain token and yield only the timeout; contended
+    copies queue a :class:`~repro.sim.resources.Request` and sample the
+    transfer duration *after* the grant (throttle semantics).
+    """
+
+    __slots__ = (
+        "_stream", "_link", "_nbytes", "_on_done",
+        "_op_start", "_token", "_claim", "_duration",
+    )
+
+    def __init__(self, env: Environment, stream: "CudaStream") -> None:
+        self._stream = stream
+        self._link = None
+        self._nbytes = 0
+        self._on_done = None
+        self._op_start = 0.0
+        self._token = None
+        self._claim = None
+        self._duration = 0.0
+        ContTask.__init__(self, env)
+
+    def _start(self, value: object) -> Event:
+        return self._next_op()
+
+    def _next_op(self) -> Event:
+        self._send = self._dispatch
+        return self._stream._ops.get()
+
+    def _dispatch(self, op: tuple) -> Event:
+        kind = op[0]
+        if kind == "copy":
+            _, link, nbytes, on_done = op
+            if nbytes < 0:
+                raise ValueError("cannot transfer a negative byte count")
+            self._link = link
+            self._nbytes = nbytes
+            self._on_done = on_done
+            self._op_start = self.env.now
+            channel = link._channel
+            users = channel.users
+            if not users and not channel.queue:
+                # Uncontended fast path: immediate grant, plain token.
+                token = object()
+                users.append(token)
+                self._token = token
+                self._duration = link.transfer_time(nbytes)
+                self._send = self._copy_finish
+                return self.env.timeout(self._duration)
+            self._claim = channel.request()
+            self._send = self._copy_granted
+            return self._claim
+        if kind == "compute":
+            _, duration, on_done = op
+            self._on_done = on_done
+            self._op_start = self.env.now
+            self._send = self._compute_done
+            return self.env.timeout(duration)
+        if kind == "record":
+            op[1]._complete()
+            return self._finish_op()
+        if kind == "wait_event":
+            self._send = self._waited
+            return op[1].wait()
+        raise AssertionError(  # pragma: no cover - construction is internal
+            f"unknown stream op {kind!r}"
+        )
+
+    def _copy_granted(self, value: object) -> Event:
+        # Duration is sampled after the grant, so a transfer that queued
+        # behind others sees the link bandwidth at its actual start time.
+        self._duration = self._link.transfer_time(self._nbytes)
+        self._send = self._copy_finish
+        return self.env.timeout(self._duration)
+
+    def _copy_finish(self, value: object) -> Event:
+        link = self._link
+        link.bytes_moved += self._nbytes
+        link.busy_time += self._duration
+        channel = link._channel
+        token = self._token
+        if token is not None:
+            channel.users.remove(token)
+            self._token = None
+            channel._grant_next()
+        else:
+            claim = self._claim
+            self._claim = None
+            claim.cancel()
+        stream = self._stream
+        if stream._tracer.enabled:
+            stream._tracer.complete(
+                "copy", cat="stream", track=stream.name,
+                start=self._op_start, end=self.env.now, nbytes=self._nbytes,
+            )
+        on_done = self._on_done
+        self._on_done = None
+        self._link = None
+        if on_done is not None:
+            on_done()
+        return self._finish_op()
+
+    def _compute_done(self, value: object) -> Event:
+        stream = self._stream
+        if stream._tracer.enabled:
+            stream._tracer.complete(
+                "compute", cat="stream", track=stream.name,
+                start=self._op_start, end=self.env.now,
+            )
+        on_done = self._on_done
+        self._on_done = None
+        if on_done is not None:
+            on_done()
+        return self._finish_op()
+
+    def _waited(self, value: object) -> Event:
+        return self._finish_op()
+
+    def _finish_op(self) -> Event:
+        stream = self._stream
+        stream._depth -= 1
+        stream.ops_executed += 1
+        return self._next_op()
 
 
 def synchronize_all(env: Environment, streams: list[CudaStream]) -> Event:

@@ -9,9 +9,6 @@ Two request APIs coexist:
   classic full-list format, still used by figure-scale benchmarks.
   ``RequestStream.materialize()`` bridges streaming → materialized and
   :func:`stream_of_trace` bridges the other way.
-
-``synthesize_trace`` and ``Dataset.sample`` are deprecated list-returning
-entry points kept for one release.
 """
 
 from .agentic import (
@@ -42,7 +39,7 @@ from .sharegpt import (
     sharegpt_ox2,
 )
 from .stream import RequestStream, merge_streams, stream_of_trace, stream_trace
-from .trace import Trace, TraceRequest, materialize_trace, synthesize_trace
+from .trace import Trace, TraceRequest, materialize_trace
 
 __all__ = [
     "AgenticConfig",
@@ -76,5 +73,4 @@ __all__ = [
     "sharegpt_ox2",
     "stream_of_trace",
     "stream_trace",
-    "synthesize_trace",
 ]

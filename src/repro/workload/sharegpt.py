@@ -18,8 +18,6 @@ from typing import Iterator
 
 import numpy as np
 
-from .._compat import removed
-
 __all__ = ["LengthSample", "Dataset", "SHAREGPT", "sharegpt", "sharegpt_ix2", "sharegpt_ox2"]
 
 
@@ -57,9 +55,9 @@ class Dataset:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Draw ``count`` i.i.d. length pairs as (inputs, outputs) int arrays.
 
-        This is the vectorized sampling core (byte-identical draws to the
-        old list-returning ``sample``); the streaming path draws one pair
-        at a time through :meth:`draw` instead.
+        This is the vectorized sampling core (byte-identical draws to
+        the removed list-returning ``sample``); the streaming path draws
+        one pair at a time through :meth:`draw` instead.
         """
         inputs = rng.lognormal(
             mean=np.log(self.input_median), sigma=self.input_sigma, size=count
@@ -74,19 +72,6 @@ class Dataset:
             np.round(outputs * self.output_scale), self.min_tokens, self.max_output
         )
         return inputs.astype(int), outputs.astype(int)
-
-    def sample(self, rng: np.random.Generator, count: int = 1) -> list[LengthSample]:
-        """Removed (deprecated in PR 6): draw length pairs as a list.
-
-        Use :meth:`sample_arrays` for bulk draws or :meth:`stream` /
-        :meth:`draw` for the streaming path; ``sample_arrays`` makes
-        byte-identical draws to the old list-returning behaviour.
-        """
-        raise removed(
-            "Dataset.sample()",
-            "Dataset.sample_arrays() for bulk draws or "
-            "Dataset.stream()/draw() for streaming",
-        )
 
     def draw(self, rng: np.random.Generator) -> LengthSample:
         """Draw one length pair (the streaming generators' scalar path)."""

@@ -15,10 +15,9 @@ import numpy as np
 
 from ..models.catalog import ModelSpec
 from .arrivals import poisson_arrivals
-from .._compat import removed
 from .sharegpt import Dataset
 
-__all__ = ["TraceRequest", "Trace", "materialize_trace", "synthesize_trace"]
+__all__ = ["TraceRequest", "Trace", "materialize_trace"]
 
 
 @dataclass(frozen=True)
@@ -124,25 +123,3 @@ def materialize_trace(
         for index, request in enumerate(requests)
     ]
     return Trace(requests=tuple(requests), models=tuple(models), horizon=horizon)
-
-
-def synthesize_trace(
-    models: list[ModelSpec],
-    rates: list[float] | np.ndarray,
-    dataset: Dataset,
-    horizon: float,
-    seed: int = 0,
-) -> Trace:
-    """Removed alias of :func:`materialize_trace` (deprecated in PR 6).
-
-    The list-returning synthesis entry point is superseded by the
-    streaming API (:func:`repro.workload.stream.stream_trace`, with
-    ``.materialize()`` when a full :class:`Trace` is genuinely needed);
-    :func:`materialize_trace` keeps the old byte-exact behaviour for
-    callers that depend on it.
-    """
-    raise removed(
-        "synthesize_trace()",
-        "stream_trace() (streaming) or materialize_trace() "
-        "(explicit full materialization)",
-    )

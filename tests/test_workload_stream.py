@@ -14,7 +14,6 @@ from repro.workload import (
     sharegpt,
     stream_of_trace,
     stream_trace,
-    synthesize_trace,
 )
 
 
@@ -98,27 +97,17 @@ class TestMarketStreams:
 
 
 class TestDeprecations:
-    # synthesize_trace() and Dataset.sample() spent a release cycle as
-    # DeprecationWarning shims (PR 6) and are now removed: the shims
-    # raise a RuntimeError that names the replacement.
-    def test_synthesize_trace_is_removed(self):
-        models = market_mix(2)
-        with pytest.raises(RuntimeError, match=r"synthesize_trace\(\) was deprecated and has been removed"):
-            synthesize_trace(models, [0.3, 0.3], sharegpt(), horizon=50.0, seed=7)
+    # synthesize_trace() and Dataset.sample() finished the deprecation
+    # lifecycle (warn in PR 6, RuntimeError stub after) and are gone
+    # entirely: importing them fails, which needs no test.  What remains
+    # deprecated is the loose build_system(name, env, ...) keyword form.
+    def test_synthesize_trace_is_gone(self):
+        import repro.workload
 
-    def test_synthesize_trace_error_names_replacements(self):
-        with pytest.raises(RuntimeError, match="stream_trace"):
-            synthesize_trace(market_mix(1), [0.3], sharegpt(), horizon=10.0)
-        with pytest.raises(RuntimeError, match="materialize_trace"):
-            synthesize_trace(market_mix(1), [0.3], sharegpt(), horizon=10.0)
+        assert not hasattr(repro.workload, "synthesize_trace")
 
-    def test_dataset_sample_is_removed(self):
-        with pytest.raises(RuntimeError, match=r"Dataset\.sample\(\) was deprecated and has been removed"):
-            sharegpt().sample(np.random.default_rng(3), 64)
-
-    def test_dataset_sample_error_names_replacements(self):
-        with pytest.raises(RuntimeError, match="sample_arrays"):
-            sharegpt().sample(np.random.default_rng(3), 8)
+    def test_dataset_sample_is_gone(self):
+        assert not hasattr(sharegpt(), "sample")
 
     def test_materialize_trace_is_quiet(self):
         with warnings.catch_warnings():
